@@ -1,0 +1,97 @@
+"""[ablation] Engine kernels: sparse dict vs dense numpy vs reference.
+
+DESIGN.md's data-layout ablation: the O(k)-per-round sparse ring
+engine wins for k << n; the O(n) dense engine wins when agents are
+dense (the load-balancing regime); the general-graph reference engine
+pays for its generality.  These benchmarks use normal multi-round
+timing (they measure kernels, not experiments).
+"""
+
+import pytest
+
+from repro.core.engine import MultiAgentRotorRouter
+from repro.core.pointers import ring_pointers_to_ports, ring_random
+from repro.core.ring import RingRotorRouter
+from repro.core.ring_dense import DenseRingRotorRouter
+from repro.graphs.ring import ring_graph
+
+N = 1024
+SPARSE_K = 8
+DENSE_K = 4 * N
+ROUNDS = 400
+
+
+def _agents(k: int) -> list[int]:
+    return [((i * N) // k) % N for i in range(k)]
+
+
+@pytest.fixture(scope="module")
+def directions():
+    return ring_random(N, seed=1)
+
+
+def test_sparse_engine_sparse_agents(benchmark, directions):
+    def run():
+        engine = RingRotorRouter(
+            N, list(directions), _agents(SPARSE_K), track_counts=False
+        )
+        engine.run(ROUNDS)
+        return engine.round
+
+    assert benchmark(run) == ROUNDS
+
+
+def test_dense_engine_sparse_agents(benchmark, directions):
+    def run():
+        engine = DenseRingRotorRouter(N, list(directions), _agents(SPARSE_K))
+        engine.run(ROUNDS)
+        return engine.round
+
+    assert benchmark(run) == ROUNDS
+
+
+def test_general_engine_sparse_agents(benchmark, directions):
+    graph = ring_graph(N)
+    ports = ring_pointers_to_ports(directions)
+
+    def run():
+        engine = MultiAgentRotorRouter(graph, list(ports), _agents(SPARSE_K))
+        engine.run(ROUNDS)
+        return engine.round
+
+    assert benchmark(run) == ROUNDS
+
+
+def test_sparse_engine_dense_tokens(benchmark, directions):
+    def run():
+        engine = RingRotorRouter(
+            N, list(directions), _agents(DENSE_K), track_counts=False
+        )
+        engine.run(ROUNDS // 4)
+        return engine.round
+
+    assert benchmark(run) == ROUNDS // 4
+
+
+def test_dense_engine_dense_tokens(benchmark, directions):
+    def run():
+        engine = DenseRingRotorRouter(N, list(directions), _agents(DENSE_K))
+        engine.run(ROUNDS // 4)
+        return engine.round
+
+    assert benchmark(run) == ROUNDS // 4
+
+
+def test_cover_kernel_fast_loop(benchmark):
+    """The inlined run_until_covered loop on a worst-case instance."""
+    from repro.core.pointers import ring_toward_node
+
+    def run():
+        engine = RingRotorRouter(
+            N, ring_toward_node(N, 0), [0] * SPARSE_K, track_counts=False
+        )
+        return engine.run_until_covered()
+
+    cover = benchmark(run)
+    benchmark.extra_info["cover time"] = cover
+    assert cover > 0

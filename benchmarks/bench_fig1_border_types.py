@@ -1,0 +1,49 @@
+"""[F1.borders] Figure 1: borders are vertex-type or edge-type.
+
+Census over a stabilized run: (almost) every border between adjacent
+lazy domains is one of Figure 1's two shapes; transients (wider gaps,
+possible only for a step right after a first traversal) are rare.
+"""
+
+from conftest import run_once
+
+from repro.analysis.domains_stats import border_type_census
+from repro.core import placement, pointers
+from repro.core.domains import BorderType
+
+N = 192
+
+
+def test_border_type_census(benchmark):
+    def census_all():
+        results = {}
+        for k, name, agents in (
+            (4, "spaced", placement.equally_spaced(N, 4)),
+            (8, "spaced", placement.equally_spaced(N, 8)),
+            (6, "random", placement.random_nodes(N, 6, seed=3,
+                                                 distinct=True)),
+            (8, "random", placement.random_nodes(N, 8, seed=5,
+                                                 distinct=True)),
+        ):
+            census = border_type_census(
+                N,
+                agents,
+                pointers.ring_negative(N, agents),
+                burn_in=25 * N,
+                observation_rounds=10 * N,
+            )
+            results[f"k={k}/{name}"] = census
+        return results
+
+    results = run_once(benchmark, census_all)
+    for label, census in results.items():
+        vertex = census.get(BorderType.VERTEX, 0)
+        edge = census.get(BorderType.EDGE, 0)
+        transient = census.get(BorderType.TRANSIENT, 0)
+        total = vertex + edge + transient
+        benchmark.extra_info[label] = {
+            "vertex": vertex, "edge": edge, "transient": transient,
+        }
+        assert total > 0, f"no borders observed for {label}"
+        # Figure 1's claim: the two shapes dominate utterly.
+        assert transient <= 0.02 * total, f"too many transients: {label}"

@@ -1,0 +1,58 @@
+"""[F2.phaseB] Figure 2 / Theorem 1 proof deployment on the path.
+
+Executes the Phase A/B1/B2 construction, checks the desirable-
+configuration ladder grows monotonically, that B1 (full activity)
+dominates the runtime as in the proof's accounting, and that the
+Lemma 3 sandwich brackets the real undelayed cover time.
+"""
+
+from conftest import run_once
+
+from repro.experiments.deployments import (
+    run_theorem1_deployment,
+    undelayed_path_cover_time,
+)
+
+CASES = ((240, 6), (320, 8))
+
+
+def test_deployment_sandwich(benchmark):
+    def execute():
+        results = {}
+        for n, k in CASES:
+            trace = run_theorem1_deployment(n, k)
+            cover = undelayed_path_cover_time(n, k)
+            results[(n, k)] = (trace, cover)
+        return results
+
+    results = run_once(benchmark, execute)
+    for (n, k), (trace, cover) in results.items():
+        tau, total = trace.slow_down_bounds()
+        benchmark.extra_info[f"path n={n} k={k}"] = {
+            "tau (B1)": tau,
+            "T (total)": total,
+            "undelayed C": cover,
+            "S ladder": trace.s_ladder,
+        }
+        assert tau <= cover <= total, f"Lemma 3 sandwich broken at {(n, k)}"
+        ladder = trace.s_ladder
+        assert all(b > a for a, b in zip(ladder, ladder[1:]))
+        assert trace.phase_b1_rounds >= trace.phase_b2_rounds
+        assert trace.phase_b1_rounds >= trace.phase_a_rounds / 4
+
+
+def test_deployment_scales_like_undelayed(benchmark):
+    """tau and C share the Θ(n²/log k) shape: their ratio is stable."""
+
+    def execute():
+        ratios = []
+        for n in (160, 240, 320):
+            trace = run_theorem1_deployment(n, 6)
+            tau, _ = trace.slow_down_bounds()
+            ratios.append(tau / undelayed_path_cover_time(n, 6))
+        return ratios
+
+    ratios = run_once(benchmark, execute)
+    benchmark.extra_info["tau/C ratios"] = [round(r, 3) for r in ratios]
+    assert max(ratios) / min(ratios) < 2.0
+    assert all(r <= 1.0 for r in ratios)  # tau is a lower bound

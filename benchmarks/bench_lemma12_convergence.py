@@ -1,0 +1,72 @@
+"""[L12] Lemma 12: adjacent lazy domains converge to within ~10 nodes.
+
+From deliberately lopsided placements, after enough rounds the lazy
+domain sizes equalize — the limit-behaviour engine behind Theorem 6.
+"""
+
+from conftest import run_once
+
+from repro.analysis.domains_stats import lemma12_adjacent_difference
+from repro.core import pointers
+from repro.util.rng import make_rng
+
+N = 240
+
+
+def _lopsided_placement(n, k, seed):
+    """Half the agents crowded into a tenth of the ring, rest spread."""
+    rng = make_rng(seed)
+    crowded = sorted(
+        int(v) for v in rng.choice(n // 10, size=k // 2, replace=False)
+    )
+    spread = [
+        n // 5 + (i * 4 * n // 5) // max(1, (k - k // 2))
+        for i in range(k - k // 2)
+    ]
+    return crowded + spread
+
+
+def test_lazy_domains_equalize(benchmark):
+    def sweep():
+        diffs = {}
+        for k in (4, 6, 8):
+            agents = _lopsided_placement(N, k, seed=k)
+            diffs[k] = lemma12_adjacent_difference(
+                N, agents, pointers.ring_negative(N, agents),
+                rounds=80 * N,
+            )
+        return diffs
+
+    diffs = run_once(benchmark, sweep)
+    benchmark.extra_info["max adjacent lazy differences"] = diffs
+    for k, diff in diffs.items():
+        assert diff <= 10, f"Lemma 12 bound exceeded at k={k}: {diff}"
+
+
+def test_convergence_is_not_immediate(benchmark):
+    """Sanity: early in the run, domains genuinely differ (so the
+    equalization above is a real dynamical statement)."""
+    from repro.core.domains import VisitTypeTracker, domain_snapshot
+    from repro.core.ring import RingRotorRouter
+
+    k = 6
+    agents = _lopsided_placement(N, k, seed=11)
+
+    def measure():
+        e = RingRotorRouter(
+            N, pointers.ring_negative(N, agents), agents, track_counts=False
+        )
+        tracker = VisitTypeTracker(e)
+        while e.unvisited:
+            tracker.advance()
+        early = domain_snapshot(e, tracker).max_adjacent_lazy_difference()
+        for _ in range(80 * N):
+            tracker.advance()
+        late = domain_snapshot(e, tracker).max_adjacent_lazy_difference()
+        return early, late
+
+    early, late = run_once(benchmark, measure)
+    benchmark.extra_info["difference at cover"] = early
+    benchmark.extra_info["difference after settling"] = late
+    assert early > late or early <= 10
+    assert late <= 10

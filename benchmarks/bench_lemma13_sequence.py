@@ -1,0 +1,51 @@
+"""[L13] Lemma 13: the profile sequence exists with properties (1)-(6),
+and the discrete worst-case run follows it (correlation ~1)."""
+
+from conftest import run_once
+
+import numpy as np
+
+from repro.analysis.domains_stats import final_profile_vs_lemma13
+from repro.theory.bounds import harmonic_number
+from repro.theory.sequences import solve_profile
+
+
+def test_profile_properties_across_k(benchmark):
+    ks = (4, 8, 16, 32, 64, 128, 256)
+
+    def solve_all():
+        return {k: solve_profile(k) for k in ks}
+
+    profiles = run_once(benchmark, solve_all)
+    for k, profile in profiles.items():
+        h_k = harmonic_number(k)
+        assert abs(sum(profile.a[1:]) - 1.0) < 1e-9           # (3)
+        assert all(
+            profile.a[i] > profile.a[i + 1] for i in range(1, k)
+        )                                                      # (2)
+        assert 1 / (4 * (h_k + 1)) <= profile.a[1] <= 1 / h_k  # (5)
+        assert all(
+            profile.a[i] >= 1 / (4 * i * (h_k + 1))
+            for i in range(1, k + 1)
+        )                                                      # (6)
+        assert max(
+            abs(profile.residual(i)) for i in range(1, k + 1)
+        ) < 1e-6                                               # (4)
+    benchmark.extra_info["a1 values"] = {
+        k: round(p.a[1], 4) for k, p in profiles.items()
+    }
+
+
+def test_discrete_run_matches_profile(benchmark):
+    n, k = 400, 8
+
+    def measure():
+        return final_profile_vs_lemma13(n, k, rounds_budget=n * n)
+
+    measured, predicted = run_once(benchmark, measure)
+    correlation = float(np.corrcoef(measured, predicted)[0, 1])
+    max_error = float(np.abs(measured - predicted).max())
+    benchmark.extra_info["correlation"] = round(correlation, 4)
+    benchmark.extra_info["max share error"] = round(max_error, 4)
+    assert correlation > 0.99
+    assert max_error < 0.05

@@ -1,0 +1,50 @@
+"""[L15] Lemma 15: at least 0.8n - o(n) remote vertices, always."""
+
+from conftest import run_once
+
+from repro.analysis.remote import count_remote_vertices
+from repro.core import placement
+
+N = 4000
+K = 40
+
+
+def test_remote_abundance_over_placements(benchmark):
+    cases = {
+        "all-on-one": placement.all_on_one(K),
+        "equally-spaced": placement.equally_spaced(N, K),
+        "half-ring": placement.half_ring(N, K),
+        "clustered": placement.clustered(N, K, 5, seed=1),
+        "random-0": placement.random_nodes(N, K, seed=0),
+        "random-1": placement.random_nodes(N, K, seed=1),
+    }
+
+    def count_all():
+        return {name: count_remote_vertices(N, starts)
+                for name, starts in cases.items()}
+
+    counts = run_once(benchmark, count_all)
+    benchmark.extra_info["remote counts (n=4000)"] = counts
+    benchmark.extra_info["lemma bound 0.8n"] = int(0.8 * N)
+    for name, count in counts.items():
+        # 0.8n - o(n): at n=4000 allow modest slack for the o(n) term.
+        assert count >= 0.75 * N, f"too few remote vertices for {name}"
+
+
+def test_adversarial_clumping_cannot_defeat_lemma(benchmark):
+    """A placement engineered against the windows still leaves >=75%."""
+
+    def adversarial_counts():
+        # Geometric clumps: window densities spike at several scales.
+        starts = []
+        position = 0
+        gap = 1
+        while len(starts) < K:
+            starts.append(position % N)
+            position += gap
+            gap = min(gap * 2, N // 8)
+        return count_remote_vertices(N, starts)
+
+    count = run_once(benchmark, adversarial_counts)
+    benchmark.extra_info["geometric clumps count"] = count
+    assert count >= 0.75 * N

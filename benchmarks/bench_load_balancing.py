@@ -1,0 +1,62 @@
+"""[X.load] Rotor-router load balancing (paper §1.2 related work).
+
+From the worst imbalance (all tokens on one node), the rotor-router
+drives the per-node discrepancy down to a small constant and keeps it
+there — deterministically.
+"""
+
+from conftest import run_once
+
+from repro.graphs.families import torus_2d
+from repro.graphs.ring import ring_graph
+from repro.loadbalance.diffusion import RotorDiffusion, random_walk_diffusion
+from repro.loadbalance.discrepancy import discrepancy_trace, uniform_discrepancy
+
+
+def test_rotor_discrepancy_settles(benchmark):
+    per_node = 8
+    cases = {
+        "ring-64": ring_graph(64),
+        "torus-8x8": torus_2d(8, 8),
+    }
+
+    def measure():
+        results = {}
+        for name, graph in cases.items():
+            tokens = [0] * (per_node * graph.num_nodes)
+            diffusion = RotorDiffusion(graph, tokens)
+            diffusion.run(30 * graph.num_nodes)
+            late = discrepancy_trace(
+                diffusion, total_rounds=2 * graph.num_nodes, sample_every=8
+            )
+            results[name] = late.peak
+        return results
+
+    peaks = run_once(benchmark, measure)
+    benchmark.extra_info["late-run discrepancy peaks"] = peaks
+    for name, peak in peaks.items():
+        # Settled discrepancy stays within ~2x the per-node fair share
+        # (parity confinement on bipartite graphs costs one fair share).
+        assert peak <= 2.5 * per_node, name
+
+
+def test_rotor_competitive_with_walk(benchmark):
+    graph = torus_2d(8, 8)
+    tokens = [0] * (8 * graph.num_nodes)
+    rounds = 20 * graph.num_nodes
+
+    def measure():
+        rotor = RotorDiffusion(graph, list(tokens))
+        rotor.run(rounds)
+        walk_loads = random_walk_diffusion(
+            graph, list(tokens), rounds=rounds, seed=5
+        )
+        return (
+            uniform_discrepancy(rotor.loads()),
+            uniform_discrepancy(walk_loads),
+        )
+
+    rotor_disc, walk_disc = run_once(benchmark, measure)
+    benchmark.extra_info["rotor discrepancy"] = rotor_disc
+    benchmark.extra_info["walk discrepancy"] = walk_disc
+    assert rotor_disc <= walk_disc + 8

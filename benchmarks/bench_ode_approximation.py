@@ -1,0 +1,97 @@
+"""[S2.3] The continuous-time approximation vs the discrete system.
+
+Three postulates of paper §2.3, measured: sqrt(t) growth (ODE and
+discrete), the ~1/i domain profile, and uniform domains as the
+post-cover equilibrium.
+"""
+
+from conftest import run_once
+
+import numpy as np
+
+from repro.analysis.domains_stats import trace_domains
+from repro.core import placement, pointers
+from repro.theory.ode import equilibrium_check, integrate_domains
+
+
+def test_sqrt_growth_ode_and_discrete(benchmark):
+    n, k = 512, 8
+
+    def measure():
+        ode = integrate_domains([1.0] * k, t_final=float(n * n) / 16.0)
+        trace = trace_domains(
+            n,
+            placement.all_on_one(k),
+            pointers.ring_toward_node(n, 0),
+            total_rounds=n * n,
+            sample_every=n // 8,
+            stop_at_cover=True,
+        )
+        return ode.growth_exponent(), trace.growth_exponent()
+
+    ode_exp, discrete_exp = run_once(benchmark, measure)
+    benchmark.extra_info["ODE exponent"] = round(ode_exp, 4)
+    benchmark.extra_info["discrete exponent"] = round(discrete_exp, 4)
+    assert abs(ode_exp - 0.5) < 0.05
+    assert abs(discrete_exp - 0.5) < 0.08
+
+
+def test_ode_profile_matches_lemma13(benchmark):
+    """Path-mode ODE (open frontier, mirrored wall) converges to the
+    Lemma 13 stationary profile — the lemma's construction, integrated."""
+    k = 12
+
+    def measure():
+        trajectory = integrate_domains(
+            [1.0] * k, t_final=1e7, mirror_right=True
+        )
+        return trajectory.final_profile()
+
+    profile = run_once(benchmark, measure)
+    # Orient so the frontier (largest) domain is first.
+    if profile[-1] > profile[0]:
+        profile = profile[::-1]
+    from repro.theory.sequences import solve_profile
+
+    predicted = np.asarray(solve_profile(k).a[1:], dtype=float)
+    predicted /= predicted.sum()
+    correlation = float(np.corrcoef(profile, predicted)[0, 1])
+    max_error = float(np.abs(profile - predicted).max())
+    benchmark.extra_info["ODE/Lemma13 correlation"] = round(correlation, 4)
+    benchmark.extra_info["max share error"] = round(max_error, 4)
+    assert correlation > 0.99
+
+
+def test_ring_ode_halves_match_lemma13(benchmark):
+    """The ring's symmetric two-frontier profile folds into two copies
+    of the Lemma 13 path profile for k/2 agents (the Thm 1 reduction)."""
+    k = 12
+
+    def measure():
+        trajectory = integrate_domains([1.0] * k, t_final=1e7)
+        return trajectory.final_profile()
+
+    profile = run_once(benchmark, measure)
+    half = profile[: k // 2]
+    half = half / half.sum()
+    from repro.theory.sequences import solve_profile
+
+    predicted = np.asarray(solve_profile(k // 2).a[1:], dtype=float)
+    predicted /= predicted.sum()
+    correlation = float(np.corrcoef(half, predicted)[0, 1])
+    benchmark.extra_info["half-profile correlation"] = round(correlation, 4)
+    assert correlation > 0.99
+
+
+def test_equilibrium_uniform(benchmark):
+    def measure():
+        return (
+            equilibrium_check([50.0] * 10),
+            equilibrium_check([45.0, 55.0] * 5),
+        )
+
+    drift_equal, drift_perturbed = run_once(benchmark, measure)
+    benchmark.extra_info["drift at uniform"] = drift_equal
+    benchmark.extra_info["drift perturbed"] = drift_perturbed
+    assert drift_equal == 0.0
+    assert drift_perturbed > 0.0

@@ -1,0 +1,85 @@
+"""[X.single] Single-agent facts the paper builds on ([27], [6]).
+
+* Eulerian lock-in: the agent enters an Eulerian circuit of the
+  directed symmetric graph within 2 D |E| rounds (period exactly 2|E|);
+* ring cover Θ(n²) under the adversarial initialization;
+* perfect arc fairness within the limit cycle.
+"""
+
+from conftest import run_once
+
+from repro.analysis.scaling import fit_power_law
+from repro.core import pointers
+from repro.core.engine import MultiAgentRotorRouter
+from repro.core.limit import arc_balance_in_cycle, eulerian_lockin
+from repro.core.ring import RingRotorRouter
+from repro.graphs.families import grid_2d, hypercube, lollipop
+from repro.graphs.random_graphs import random_regular_graph
+from repro.graphs.ring import ring_graph
+
+
+def test_eulerian_lockin_across_graphs(benchmark):
+    graphs = {
+        "ring-24": ring_graph(24),
+        "grid-5x5": grid_2d(5, 5),
+        "hypercube-4": hypercube(4),
+        "lollipop-8+6": lollipop(8, 6),
+        "random-4-regular-20": random_regular_graph(20, 4, seed=2),
+    }
+
+    def measure():
+        results = {}
+        for name, graph in graphs.items():
+            engine = MultiAgentRotorRouter(
+                graph, pointers.ports_toward_sources(graph, [0]), [0]
+            )
+            result = eulerian_lockin(
+                engine, graph.num_arcs,
+                max_rounds=20 * graph.diameter() * graph.num_edges + 1000,
+            )
+            results[name] = (result, graph)
+        return results
+
+    results = run_once(benchmark, measure)
+    for name, (result, graph) in results.items():
+        bound = 2 * graph.diameter() * graph.num_edges
+        benchmark.extra_info[name] = {
+            "lock-in": result.lock_in_round,
+            "2D|E| bound": bound,
+            "period": result.cycle.period,
+        }
+        assert result.locks_into_euler_cycle, name
+        assert result.lock_in_round <= bound, name
+
+
+def test_single_agent_ring_cover_quadratic(benchmark):
+    ns = (64, 128, 256, 512)
+
+    def sweep():
+        covers = []
+        for n in ns:
+            e = RingRotorRouter(
+                n, pointers.ring_toward_node(n, 0), [0], track_counts=False
+            )
+            covers.append(e.run_until_covered(8 * n * n))
+        return covers
+
+    covers = run_once(benchmark, sweep)
+    fit = fit_power_law(ns, covers)
+    benchmark.extra_info["covers"] = dict(zip(ns, covers))
+    benchmark.extra_info["exponent"] = round(fit.exponent, 3)
+    assert 1.9 <= fit.exponent <= 2.1
+
+
+def test_arc_fairness_in_limit(benchmark):
+    graph = grid_2d(4, 4)
+
+    def measure():
+        engine = MultiAgentRotorRouter(graph, [0] * 16, [0])
+        return arc_balance_in_cycle(
+            engine, 200_000, num_arcs=graph.num_arcs
+        )
+
+    low, high = run_once(benchmark, measure)
+    benchmark.extra_info["arc traversals per period (min, max)"] = (low, high)
+    assert (low, high) == (1, 1)  # an exact Eulerian circuit

@@ -1,0 +1,66 @@
+"""[X.speedup] Yanovski et al.'s experiment: near-linear speed-up on
+well-connected graphs, and monotonicity (agents never hurt)."""
+
+from conftest import run_once
+
+from repro.analysis.speedup import TABLE1_SHAPES, best_matching_shape
+from repro.experiments.speedup_graphs import (
+    default_families,
+    mean_cover_over_seeds,
+)
+from repro.analysis.speedup import measure_speedup
+
+KS = (2, 4, 8)
+SEEDS = (0, 1)
+
+
+def test_speedup_families(benchmark):
+    families = default_families()
+    chosen = {name: families[name] for name in
+              ("grid", "torus", "hypercube", "clique")}
+
+    def sweep():
+        results = {}
+        for name, factory in chosen.items():
+            graph = factory()
+
+            def cover(_n, k, graph=graph):
+                return mean_cover_over_seeds(graph, k, SEEDS)
+
+            results[name] = measure_speedup(cover, graph.num_nodes, list(KS))
+        return results
+
+    results = run_once(benchmark, sweep)
+    for name, table in results.items():
+        speedups = table.speedups()
+        shape, flatness_value = best_matching_shape(table, TABLE1_SHAPES)
+        benchmark.extra_info[name] = {
+            "S(k)": [round(s, 2) for s in speedups],
+            "best shape": shape,
+            "flatness": round(flatness_value, 2),
+        }
+        # [27]'s observations: monotone gains, near-linear on these
+        # well-connected graphs.
+        assert all(s >= 0.9 for s in speedups)
+        assert speedups[-1] >= 0.45 * KS[-1], (
+            f"{name}: far from the near-linear regime"
+        )
+        assert shape in ("k", "k^2/log^2 k"), name
+
+
+def test_ring_speedup_is_sublinear_for_stacked_start(benchmark):
+    """The contrast the paper proves: the ring's worst case gains only
+    log k, unlike the near-linear general-graph behaviour."""
+    from repro.experiments.table1 import rotor_worst_cover
+
+    n = 256
+
+    def measure():
+        base = rotor_worst_cover(n, 1)
+        return [base / rotor_worst_cover(n, k) for k in KS]
+
+    speedups = run_once(benchmark, measure)
+    benchmark.extra_info["ring worst-case S(k)"] = [
+        round(s, 2) for s in speedups
+    ]
+    assert speedups[-1] < 0.75 * KS[-1]  # clearly sublinear

@@ -1,0 +1,43 @@
+"""[X.stab] Extension: stabilization (time-to-limit-cycle) is ~ n².
+
+The paper's Theorem 6 applies "after a sufficiently large number of
+steps"; this bench quantifies that: worst-case preperiod stays below
+n², the period is always a small multiple of n/k, and friendly
+initializations stabilize instantly.
+"""
+
+from conftest import run_once
+
+from repro.experiments.stabilization import stabilization_battery
+
+K = 4
+NS = (64, 128)
+
+
+def test_stabilization_quadratic_ceiling(benchmark):
+    def sweep():
+        return {n: stabilization_battery(n, K, seeds=(0, 1)) for n in NS}
+
+    results = run_once(benchmark, sweep)
+    for n, battery in results.items():
+        for name, (preperiod, period) in battery.items():
+            benchmark.extra_info[f"n={n}/{name}"] = {
+                "preperiod": preperiod,
+                "period": period,
+            }
+            assert preperiod <= n * n, f"{name} at n={n}"
+            # Period is a small multiple of the patrol loop n/k.
+            assert period % (n // K) == 0 or period % n == 0
+            assert period <= 4 * n
+
+    # Positive (friendly) pointers: already in the limit cycle.
+    for n in NS:
+        assert results[n]["spaced/positive"][0] == 0
+
+    # Scaling: worst preperiod grows ~4x when n doubles.
+    worst = {
+        n: max(pre for pre, _ in results[n].values()) for n in NS
+    }
+    growth = worst[NS[1]] / max(worst[NS[0]], 1)
+    benchmark.extra_info["worst preperiod growth (n x2)"] = round(growth, 2)
+    assert 2.0 <= growth <= 8.0

@@ -1,0 +1,54 @@
+"""[T1.return] Table 1, return time: Θ(n/k) for both models (Thm 6).
+
+The rotor-router's exact limit-cycle worst gap normalizes to ~2 x n/k
+for every initialization; the random walks' mean gap is n/k but their
+max gap over a finite window dwarfs it (no deterministic ceiling).
+"""
+
+from conftest import run_once
+
+from repro.analysis.return_time import ring_rotor_return_time_exact
+from repro.core import placement, pointers
+from repro.randomwalk.visits import ring_walk_gap_statistics
+
+N = 192
+KS = (2, 4, 8, 16)
+
+
+def test_rotor_return_time_band(benchmark):
+    def sweep():
+        results = {}
+        for k in KS:
+            worst_init = ring_rotor_return_time_exact(
+                N, placement.all_on_one(k), pointers.ring_toward_node(N, 0)
+            )
+            spaced = placement.equally_spaced(N, k)
+            best_init = ring_rotor_return_time_exact(
+                N, spaced, pointers.ring_negative(N, spaced)
+            )
+            results[k] = (worst_init.normalized, best_init.normalized)
+        return results
+
+    results = run_once(benchmark, sweep)
+    benchmark.extra_info["normalized gaps (worst-init, spaced-init)"] = {
+        k: (round(a, 2), round(b, 2)) for k, (a, b) in results.items()
+    }
+    for k, (a, b) in results.items():
+        assert 1.0 <= a <= 3.0, f"worst-init gap*k/n out of band at k={k}"
+        assert 1.0 <= b <= 3.0, f"spaced-init gap*k/n out of band at k={k}"
+
+
+def test_walk_gaps_mean_fair_but_unbounded(benchmark):
+    k = 8
+
+    def measure():
+        return ring_walk_gap_statistics(
+            N, k, node=0, observation_rounds=600 * N, burn_in=4 * N, seed=0
+        )
+
+    stats = run_once(benchmark, measure)
+    benchmark.extra_info["walk mean gap"] = round(stats.mean, 2)
+    benchmark.extra_info["walk max gap"] = stats.maximum
+    benchmark.extra_info["fair share n/k"] = N / k
+    assert abs(stats.mean - N / k) / (N / k) < 0.35
+    assert stats.maximum > 5 * (N / k)  # the heavy tail

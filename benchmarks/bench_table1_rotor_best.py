@@ -1,0 +1,46 @@
+"""[T1.rr.best] Table 1, rotor-router best placement: Θ(n²/k²).
+
+Equally spaced agents with adversarial (negative) pointers.  The
+normalized column ``C · k² / n²`` must be flat across k (Theorems 3-4).
+"""
+
+from conftest import run_once
+
+from repro.analysis.scaling import flatness, normalized
+from repro.experiments.table1 import rotor_best_cover
+from repro.theory import bounds
+
+N = 512
+KS = (2, 4, 8, 16, 32)
+
+
+def test_best_cover_k_sweep(benchmark):
+    def sweep():
+        return {k: rotor_best_cover(N, k) for k in KS}
+
+    covers = run_once(benchmark, sweep)
+    norm = normalized(
+        [covers[k] for k in KS],
+        [bounds.rotor_cover_best(N, k) for k in KS],
+    )
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["covers"] = covers
+    benchmark.extra_info["normalized C*k^2/n^2"] = [round(v, 4) for v in norm]
+    benchmark.extra_info["flatness"] = round(flatness(norm), 3)
+    assert flatness(norm) < 1.5  # extremely clean in practice (~0.5 each)
+
+
+def test_best_beats_worst_by_k2_over_logk(benchmark):
+    """Cross-check Table 1's rows against each other."""
+    from repro.experiments.table1 import rotor_worst_cover
+
+    k = 16
+
+    def measure():
+        return rotor_worst_cover(N, k), rotor_best_cover(N, k)
+
+    worst, best = run_once(benchmark, measure)
+    gain = worst / best
+    benchmark.extra_info["worst/best gain at k=16"] = round(gain, 1)
+    # Θ(k²/log k) ≈ 92 at k=16; accept a generous band.
+    assert gain > 10

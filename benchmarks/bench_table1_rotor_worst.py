@@ -1,0 +1,44 @@
+"""[T1.rr.worst] Table 1, rotor-router worst placement: Θ(n²/log k).
+
+All k agents on one node, pointers toward it.  The normalized column
+``C · log k / n²`` must be flat across k, and C must scale ~n² in n.
+"""
+
+from conftest import run_once
+
+from repro.analysis.scaling import fit_power_law, flatness, normalized
+from repro.experiments.table1 import rotor_worst_cover
+from repro.theory import bounds
+
+N = 384
+KS = (2, 4, 8, 16, 32)
+
+
+def test_worst_cover_k_sweep(benchmark):
+    def sweep():
+        return {k: rotor_worst_cover(N, k) for k in KS}
+
+    covers = run_once(benchmark, sweep)
+    norm = normalized(
+        [covers[k] for k in KS],
+        [bounds.rotor_cover_worst(N, k) for k in KS],
+    )
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["covers"] = covers
+    benchmark.extra_info["normalized C*logk/n^2"] = [round(v, 4) for v in norm]
+    benchmark.extra_info["flatness"] = round(flatness(norm), 3)
+    # Paper shape: flat within a modest constant across a 16x range of k.
+    assert flatness(norm) < 2.0
+
+
+def test_worst_cover_quadratic_in_n(benchmark):
+    ns = (96, 192, 384)
+    k = 8
+
+    def sweep():
+        return [rotor_worst_cover(n, k) for n in ns]
+
+    covers = run_once(benchmark, sweep)
+    fit = fit_power_law(ns, covers)
+    benchmark.extra_info["fitted exponent"] = round(fit.exponent, 3)
+    assert 1.8 <= fit.exponent <= 2.2

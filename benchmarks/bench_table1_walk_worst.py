@@ -1,0 +1,51 @@
+"""[T1.rw.worst] Table 1, k random walks from one node: Θ(n²/log k).
+
+The expected cover time of k walks started together, normalized by
+n²/log k, stays within a constant band, and the speed-up over one walk
+is logarithmic (Alon et al. [4] — the cycle attains the minimum
+possible speed-up).
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.analysis.scaling import flatness, normalized
+from repro.experiments.table1 import walk_worst_cover
+from repro.theory import bounds
+
+N = 256
+KS = (4, 8, 16, 32)
+REPS = 8
+
+
+def test_walk_worst_k_sweep(benchmark):
+    def sweep():
+        return {k: walk_worst_cover(N, k, REPS) for k in KS}
+
+    covers = run_once(benchmark, sweep)
+    norm = normalized(
+        [covers[k] for k in KS],
+        [bounds.walk_cover_worst(N, k) for k in KS],
+    )
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["mean covers"] = {
+        k: round(v, 0) for k, v in covers.items()
+    }
+    benchmark.extra_info["normalized C*logk/n^2"] = [round(v, 4) for v in norm]
+    benchmark.extra_info["flatness"] = round(flatness(norm), 3)
+    assert flatness(norm) < 2.5  # stochastic: a looser band than rotor
+
+
+def test_walk_worst_speedup_is_logarithmic(benchmark):
+    def measure():
+        single = walk_worst_cover(N, 1, REPS)
+        many = walk_worst_cover(N, 32, REPS)
+        return single, many
+
+    single, many = run_once(benchmark, measure)
+    speedup = single / many
+    benchmark.extra_info["speedup at k=32"] = round(speedup, 2)
+    # log(32) ~ 3.5 with a constant of a few: the speed-up must be
+    # mild and nowhere near linear (32x).
+    assert 1.5 < speedup < 18.0

@@ -1,0 +1,31 @@
+"""[Thm2] No initialization exceeds the Theorem 1 adversary by more
+than a constant: cover is O(n²/log k) universally."""
+
+from conftest import run_once
+
+from repro.experiments.table1 import rotor_worst_cover
+from repro.experiments.theorem2 import initialization_battery
+
+N = 256
+KS = (4, 8, 16)
+
+
+def test_battery_never_beats_all_on_one_materially(benchmark):
+    def sweep():
+        out = {}
+        for k in KS:
+            battery = initialization_battery(N, k, seeds=(0, 1, 2, 3))
+            out[k] = (max(battery.values()), rotor_worst_cover(N, k))
+        return out
+
+    results = run_once(benchmark, sweep)
+    for k, (battery_worst, reference) in results.items():
+        ratio = battery_worst / reference
+        benchmark.extra_info[f"k={k}"] = {
+            "battery worst": battery_worst,
+            "all-on-one": reference,
+            "ratio": round(ratio, 3),
+        }
+        assert ratio <= 1.5, (
+            f"an initialization beat the Theorem 1 adversary at k={k}"
+        )

@@ -1,0 +1,51 @@
+"""[Thm4] For every placement, negative pointers force Ω((n/k)²).
+
+Also verifies the adversary's geometric ingredient: remote vertices
+far from all agents exist in abundance (Definition 2 / Lemma 15).
+"""
+
+from conftest import run_once
+
+from repro.analysis.remote import (
+    count_remote_vertices,
+    remote_vertices_far_from_agents,
+)
+from repro.experiments.theorem4 import adversarial_cover, placements_battery
+from repro.theory import bounds
+
+N = 512
+KS = (4, 8)
+
+
+def test_lower_bound_constant_over_placements(benchmark):
+    def sweep():
+        rows = {}
+        for k in KS:
+            for name, agents in placements_battery(N, k, seeds=(0, 1)).items():
+                cover = adversarial_cover(N, agents)
+                rows[f"k={k}/{name}"] = (
+                    cover / bounds.rotor_cover_best(N, k),
+                    count_remote_vertices(N, agents),
+                    len(
+                        remote_vertices_far_from_agents(
+                            N, agents, max(1, N // (9 * k))
+                        )
+                    ),
+                )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    minimum = min(norm for norm, _, _ in rows.values())
+    benchmark.extra_info["min normalized cover"] = round(minimum, 3)
+    for label, (norm, remote, far) in rows.items():
+        benchmark.extra_info[label] = {
+            "C*k^2/n^2": round(norm, 3),
+            "remote": remote,
+            "remote far": far,
+        }
+        # The Ω((n/k)²) lower bound: a placement-independent constant.
+        assert norm >= 0.2, f"lower bound violated for {label}"
+        # Lemma 15 abundance (with finite-n slack).
+        assert remote >= 0.6 * N
+        # Theorem 4's anchor vertex exists.
+        assert far >= 1

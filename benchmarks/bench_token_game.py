@@ -1,0 +1,68 @@
+"""[L8.game] The appendix token game: min stack >= eta - 5k + 5.
+
+Adversarial play at scale: random and draining adversaries hammer the
+stacks for many moves; the claim and the partial-sum proof invariant
+must survive, and the draining adversary shows the bound is not
+vacuous (the minimum genuinely drops).
+"""
+
+from conftest import run_once
+
+from repro.theory.token_game import (
+    TokenGame,
+    play_draining_adversary,
+    play_random_adversary,
+)
+
+
+def test_random_adversary_long_run(benchmark):
+    k, eta, moves = 12, 300, 60_000
+
+    def play():
+        game = TokenGame(k, eta)
+        play_random_adversary(game, moves, seed=7)
+        return game
+
+    game = run_once(benchmark, play)
+    benchmark.extra_info["min height"] = game.min_height()
+    benchmark.extra_info["claim bound"] = game.claim_lower_bound()
+    assert game.claim_holds()
+    assert game.partial_sums_hold()
+    assert sum(game.heights) == k * eta
+
+
+def test_draining_adversary_long_run(benchmark):
+    k, eta, moves = 12, 300, 60_000
+
+    def play():
+        game = TokenGame(k, eta)
+        play_draining_adversary(game, moves)
+        return game
+
+    game = run_once(benchmark, play)
+    benchmark.extra_info["min height"] = game.min_height()
+    benchmark.extra_info["claim bound"] = game.claim_lower_bound()
+    assert game.claim_holds()
+    assert game.partial_sums_hold()
+    # The adversary must achieve real damage (bound not vacuous).
+    assert game.min_height() <= eta - 5
+
+
+def test_claim_shape_in_k(benchmark):
+    """The achievable damage grows with k, tracking the 5k shape."""
+    eta = 400
+
+    def sweep():
+        damages = {}
+        for k in (4, 8, 16, 32):
+            game = TokenGame(k, eta)
+            play_draining_adversary(game, 150_000)
+            damages[k] = eta - game.min_height()
+        return damages
+
+    damages = run_once(benchmark, sweep)
+    benchmark.extra_info["damage by k"] = damages
+    ks = sorted(damages)
+    assert all(damages[a] <= damages[b] for a, b in zip(ks, ks[1:]))
+    for k, damage in damages.items():
+        assert damage <= 5 * k - 5

@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Each benchmark reproduces one paper artifact at a scaled-down size (so
+the whole suite runs in minutes), records its headline measurements in
+``benchmark.extra_info`` (visible with ``pytest benchmarks/
+--benchmark-only --benchmark-verbose`` and in saved JSON), and asserts
+the paper's *shape* claims.  The full-size reproductions live in
+``python -m repro.experiments.<name>``.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment function as a single measured run.
+
+    Reproduction experiments are deterministic-or-seeded and expensive;
+    one round with one iteration gives a representative wall-clock time
+    without re-running the sweep five times.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The adversary's toolbox: how initialization drives cover time.
+
+Walks through the initializations studied by the paper and shows the
+full quadratic-to-(n/k)² spectrum on one ring, including the Theorem 4
+recipe (remote vertex + negative pointers) and the Lemma 15 geometry
+that makes it work.
+
+Run:  python examples/adversarial_initializations.py [n] [k]
+"""
+
+import sys
+
+from repro.analysis.cover_time import ring_rotor_cover_time
+from repro.analysis.remote import (
+    count_remote_vertices,
+    remote_vertices_far_from_agents,
+)
+from repro.core import placement, pointers
+from repro.theory import bounds
+from repro.util.tables import Table
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    spaced = placement.equally_spaced(n, k)
+    scenarios = [
+        (
+            "all-on-one + pointers toward start (Thm 1 worst case)",
+            placement.all_on_one(k),
+            pointers.ring_toward_node(n, 0),
+        ),
+        (
+            "all-on-one + uniform pointers",
+            placement.all_on_one(k),
+            pointers.ring_uniform(n),
+        ),
+        (
+            "half-ring cluster + negative pointers",
+            placement.half_ring(n, k),
+            pointers.ring_negative(n, placement.half_ring(n, k)),
+        ),
+        (
+            "equally spaced + negative pointers (Thm 4 adversary)",
+            spaced,
+            pointers.ring_negative(n, spaced),
+        ),
+        (
+            "equally spaced + positive pointers (friendliest)",
+            spaced,
+            pointers.ring_positive(n, spaced),
+        ),
+    ]
+
+    table = Table(
+        columns=["initialization", "cover", "x (n/k)^2", "x n^2/log k"],
+        caption=f"Rotor-router cover times on the n={n} ring with k={k}",
+        formats=[None, "d", ".2f", ".2f"],
+    )
+    for name, agents, directions in scenarios:
+        cover = ring_rotor_cover_time(n, agents, directions)
+        table.add_row(
+            name,
+            cover,
+            cover / bounds.rotor_cover_best(n, k),
+            cover / bounds.rotor_cover_worst(n, k),
+        )
+    print(table.render())
+    print()
+
+    # The geometry behind Theorem 4: remote vertices.
+    remote_total = count_remote_vertices(n, spaced)
+    far = remote_vertices_far_from_agents(n, spaced, max(1, n // (9 * k)))
+    print("Theorem 4's geometric ingredient (Definition 2 / Lemma 15):")
+    print(f"  remote vertices for the spaced placement: {remote_total} "
+          f"of {n} (Lemma 15 guarantees ≥ 0.8n − o(n))")
+    print(f"  remote vertices at distance ≥ n/(9k) from every agent: "
+          f"{len(far)}")
+    print()
+    print("even the best placement cannot beat Ω((n/k)²): the adversary")
+    print("anchors a reflecting region around a far remote vertex.")
+
+
+if __name__ == "__main__":
+    main()

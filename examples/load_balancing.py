@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Rotor-router load balancing: deterministic token diffusion.
+
+The related-work application from the paper's §1.2: with many more
+tokens than nodes, the multi-agent rotor-router is a load balancer.
+Cooper–Spencer-style behaviour: the rotor-router keeps every node's
+load within a small *constant* of the fair share, forever, while
+random-walk diffusion fluctuates stochastically.
+
+Run:  python examples/load_balancing.py [tokens-per-node]
+"""
+
+import sys
+
+from repro.graphs import ring_graph, torus_2d
+from repro.loadbalance import (
+    RotorDiffusion,
+    discrepancy_trace,
+    random_walk_diffusion,
+    uniform_discrepancy,
+)
+
+
+def skewed_tokens(n: int, total: int) -> list[int]:
+    """All tokens piled on node 0 — the worst starting imbalance."""
+    return [0] * total
+
+
+def main() -> None:
+    per_node = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+
+    for name, graph in (
+        ("ring n=64", ring_graph(64)),
+        ("torus 8x8", torus_2d(8, 8)),
+    ):
+        n = graph.num_nodes
+        total = per_node * n
+        rounds = 40 * n
+        print(f"{name}: {total} tokens, all initially on node 0")
+
+        diffusion = RotorDiffusion(graph, skewed_tokens(n, total))
+        trace = discrepancy_trace(
+            diffusion, total_rounds=rounds, sample_every=n
+        )
+        print(
+            f"  rotor-router:  discrepancy after {rounds} rounds = "
+            f"{trace.final:.1f} tokens (peak during run {trace.peak:.1f}; "
+            f"fair share {per_node}/node)"
+        )
+
+        walk_loads = random_walk_diffusion(
+            graph, skewed_tokens(n, total), rounds=rounds, seed=3
+        )
+        print(
+            f"  random walks:  discrepancy after {rounds} rounds = "
+            f"{uniform_discrepancy(walk_loads):.1f} tokens "
+            "(stochastic, fluctuates every round)"
+        )
+        print()
+
+    print("the rotor-router's final discrepancy is a small constant —")
+    print("the deterministic analogue of a perfectly mixed random walk.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Speed-up study: what do k agents buy you, and where?
+
+Reproduces the paper's headline comparison as one readable table: the
+speed-up of k agents over one, for the rotor-router and for random
+walks, under the best and worst placements — the four regimes of
+Table 1 — plus the rotor-router on a torus (where, as in Yanovski et
+al.'s experiments, the speed-up is nearly linear).
+
+Run:  python examples/parallel_speedup_study.py [n]
+"""
+
+import math
+import sys
+
+from repro.analysis.cover_time import (
+    ring_rotor_cover_time,
+    ring_walk_cover_estimate,
+    rotor_cover_time_general,
+)
+from repro.core import placement, pointers
+from repro.core.pointers import random_ports
+from repro.graphs import torus_2d
+from repro.util.rng import derive_seed, make_rng
+from repro.util.tables import Table
+
+
+def rotor_worst(n: int, k: int) -> float:
+    return ring_rotor_cover_time(
+        n, placement.all_on_one(k), pointers.ring_toward_node(n, 0)
+    )
+
+
+def rotor_best(n: int, k: int) -> float:
+    agents = placement.equally_spaced(n, k)
+    return ring_rotor_cover_time(n, agents, pointers.ring_negative(n, agents))
+
+
+def walk_mean(n: int, k: int, spaced: bool, repetitions: int = 8) -> float:
+    agents = (
+        placement.equally_spaced(n, k) if spaced else placement.all_on_one(k)
+    )
+    return ring_walk_cover_estimate(
+        n, agents, repetitions, base_seed=derive_seed(0, "study", n, k, spaced)
+    ).mean
+
+
+def torus_cover(side: int, k: int) -> float:
+    graph = torus_2d(side, side)
+    rng = make_rng(derive_seed(1, "torus", side, k))
+    agents = [int(rng.integers(0, graph.num_nodes)) for _ in range(k)]
+    return rotor_cover_time_general(graph, agents, random_ports(graph, rng))
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    ks = [2, 4, 8, 16]
+    side = max(8, int(math.isqrt(n)) // 2 * 2)
+
+    base = {
+        "rr-worst": rotor_worst(n, 1),
+        "rr-best": rotor_best(n, 1),
+        "rw-worst": walk_mean(n, 1, spaced=False),
+        "rw-best": walk_mean(n, 1, spaced=True),
+        "torus": torus_cover(side, 1),
+    }
+    table = Table(
+        columns=[
+            "k",
+            "RR worst",
+            "RW worst",
+            "RR best",
+            "RW best",
+            f"RR torus {side}x{side}",
+            "log k",
+            "k^2",
+        ],
+        caption=f"Cover-time speed-up S(k) = C(1)/C(k) on the n={n} ring",
+        formats=["d", ".2f", ".2f", ".1f", ".1f", ".2f", ".2f", "d"],
+    )
+    for k in ks:
+        table.add_row(
+            k,
+            base["rr-worst"] / rotor_worst(n, k),
+            base["rw-worst"] / walk_mean(n, k, spaced=False),
+            base["rr-best"] / rotor_best(n, k),
+            base["rw-best"] / walk_mean(n, k, spaced=True),
+            base["torus"] / torus_cover(side, k),
+            math.log(k),
+            k * k,
+        )
+    print(table.render())
+    print()
+    print("reading guide (paper Table 1):")
+    print("  * worst-placement columns track log k for both models;")
+    print("  * best-placement rotor-router tracks k^2; random walks lag")
+    print("    behind by the log^2 k factor;")
+    print("  * the torus column shows the near-linear general-graph")
+    print("    behaviour observed by Yanovski et al.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Network patrolling: a deterministic idle-time guarantee.
+
+The scenario that motivates the paper's return-time result (and the
+"Edge Ant Walk" line of work it cites): k patrol agents must visit
+every station of a ring-shaped perimeter regularly.  With random-walk
+patrols a station's *expected* idle time is n/k, but any particular
+station can stay unvisited arbitrarily long.  The rotor-router gives a
+deterministic ceiling: after stabilization, no station waits more than
+Θ(n/k) rounds (Theorem 6) — even if the patrol starts from the most
+chaotic initialization.
+
+Run:  python examples/patrol_network.py [n] [k]
+"""
+
+import sys
+
+from repro.analysis.return_time import ring_rotor_return_time_exact
+from repro.core import placement, pointers
+from repro.randomwalk.visits import ring_walk_gap_statistics
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 240
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+
+    print(f"perimeter of {n} stations, {k} patrol agents")
+    print(f"fair-share idle time n/k = {n / k:.1f} rounds")
+    print()
+
+    # Deterministic patrol: rotor-router from three initializations.
+    cases = {
+        "depot start (all agents at station 0)": (
+            placement.all_on_one(k),
+            pointers.ring_toward_node(n, 0),
+        ),
+        "spread start (equally spaced)": (
+            placement.equally_spaced(n, k),
+            pointers.ring_negative(n, placement.equally_spaced(n, k)),
+        ),
+        "scrambled start (random)": (
+            placement.random_nodes(n, k, seed=42),
+            pointers.ring_random(n, seed=42),
+        ),
+    }
+    print("rotor-router patrol (exact worst idle time in the limit):")
+    for name, (agents, directions) in cases.items():
+        result = ring_rotor_return_time_exact(n, agents, directions)
+        print(
+            f"  {name:44s} worst idle {result.worst_gap:5.0f} rounds"
+            f"  (= {result.normalized:.2f} x n/k;"
+            f" stabilized after {result.preperiod} rounds)"
+        )
+    print()
+
+    # Random-walk patrol: same fair share, no ceiling.
+    stats = ring_walk_gap_statistics(
+        n, k, node=0, observation_rounds=800 * n, burn_in=4 * n, seed=7
+    )
+    print("random-walk patrol at one station (long observation):")
+    print(f"  mean idle  {stats.mean:8.1f} rounds (expectation n/k = {n/k:.1f})")
+    print(f"  p99 idle   {stats.p99:8.1f} rounds")
+    print(f"  worst idle {stats.maximum:8.1f} rounds "
+          "<- keeps growing with the observation window")
+    print()
+    print("takeaway: identical average frequency, but only the")
+    print("deterministic patrol bounds the worst case.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment is offline and lacks the ``wheel`` package, so PEP 660
+editable installs fail; ``python setup.py develop`` (or ``pip install
+-e . --no-build-isolation`` on newer toolchains) installs the package
+from pyproject.toml metadata instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""Shape verification: power-law fits and flatness of normalized columns.
+
+The paper's results are Θ-bounds, so the reproduction never asserts
+absolute constants.  Instead every experiment produces a *normalized
+column* — measured value divided by the predicted shape — and verifies
+it is flat (bounded max/min ratio) across the sweep, and/or fits a
+power law and checks the exponent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.stats import max_abs_deviation_ratio
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = prefactor * x**exponent``."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit a power law through (xs, ys) by log-log least squares."""
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size != y.size:
+        raise ValueError("xs and ys must have equal length")
+    if x.size < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fits require positive data")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    predicted = slope * lx + intercept
+    ss_res = float(np.sum((ly - predicted) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(
+        exponent=float(slope),
+        prefactor=float(np.exp(intercept)),
+        r_squared=r_squared,
+    )
+
+
+def normalized(
+    measured: Sequence[float], predicted: Sequence[float]
+) -> list[float]:
+    """Element-wise measured/predicted ratios (the normalized column)."""
+    ms = list(measured)
+    ps = list(predicted)
+    if len(ms) != len(ps):
+        raise ValueError("measured and predicted must have equal length")
+    result = []
+    for m, p in zip(ms, ps):
+        if p <= 0:
+            raise ValueError(f"predicted value must be positive, got {p}")
+        result.append(m / p)
+    return result
+
+
+def flatness(values: Sequence[float]) -> float:
+    """max/min of a positive sequence; 1.0 means perfectly flat.
+
+    A normalized column with flatness <= F means the measured data
+    matches the predicted Θ-shape within a constant factor F across
+    the sweep.
+    """
+    return max_abs_deviation_ratio(values)
+
+
+def is_shape_match(
+    measured: Sequence[float],
+    predicted: Sequence[float],
+    tolerance: float,
+) -> bool:
+    """True iff measured/predicted is flat within ``tolerance``."""
+    if tolerance < 1.0:
+        raise ValueError(f"tolerance must be >= 1, got {tolerance}")
+    return flatness(normalized(measured, predicted)) <= tolerance

@@ -1,0 +1,108 @@
+"""Speed-up tables: cover time improvement as a function of k.
+
+The paper frames its results as the *speed-up* of k agents over one:
+Θ(log k) for the worst placement, Θ(k²) for the best (rotor-router),
+vs Θ(log k) and Θ(k²/log²k) for random walks.  This module computes
+measured speed-up columns and matches them against candidate shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.scaling import flatness, normalized
+
+CoverFunction = Callable[[int, int], float]
+"""Maps (n, k) to a (mean) cover time."""
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    k: int
+    cover_time: float
+    speedup: float
+
+
+@dataclass(frozen=True)
+class SpeedupTable:
+    """Measured speed-up S(k) = C(n, 1) / C(n, k) for fixed n."""
+
+    n: int
+    rows: tuple[SpeedupRow, ...]
+
+    def speedups(self) -> list[float]:
+        return [row.speedup for row in self.rows]
+
+    def ks(self) -> list[int]:
+        return [row.k for row in self.rows]
+
+    def shape_flatness(self, shape: Callable[[int], float]) -> float:
+        """Flatness of S(k)/shape(k) — 1.0 means a perfect Θ-match."""
+        predicted = [shape(k) for k in self.ks()]
+        return flatness(normalized(self.speedups(), predicted))
+
+
+def measure_speedup(
+    cover: CoverFunction, n: int, ks: Sequence[int]
+) -> SpeedupTable:
+    """Build the speed-up table of ``cover`` over the given ks.
+
+    The k = 1 baseline is always measured (even if absent from ``ks``).
+    """
+    if not ks:
+        raise ValueError("at least one k is required")
+    baseline = float(cover(n, 1))
+    if baseline <= 0:
+        raise ValueError(f"baseline cover time must be positive: {baseline}")
+    rows = []
+    for k in ks:
+        value = float(cover(n, k))
+        rows.append(SpeedupRow(k=k, cover_time=value, speedup=baseline / value))
+    return SpeedupTable(n=n, rows=tuple(rows))
+
+
+# Candidate speed-up shapes from Table 1 -------------------------------
+def shape_log(k: int) -> float:
+    """Θ(log k) with a 1-at-k=1 convention (worst-case shapes)."""
+    return max(1.0, math.log(k))
+
+
+def shape_linear(k: int) -> float:
+    """Θ(k) (expanders/cliques in the random-walk literature)."""
+    return float(k)
+
+
+def shape_quadratic(k: int) -> float:
+    """Θ(k²) (rotor-router best case)."""
+    return float(k * k)
+
+
+def shape_quadratic_over_log2(k: int) -> float:
+    """Θ(k²/log²k) (random-walk best case, Theorem 5)."""
+    if k == 1:
+        return 1.0
+    return k * k / math.log(k) ** 2
+
+
+def best_matching_shape(
+    table: SpeedupTable,
+    shapes: dict[str, Callable[[int], float]],
+) -> tuple[str, float]:
+    """Name and flatness of the best-matching candidate shape."""
+    if not shapes:
+        raise ValueError("at least one candidate shape is required")
+    scored = {
+        name: table.shape_flatness(shape) for name, shape in shapes.items()
+    }
+    best = min(scored, key=scored.get)
+    return best, scored[best]
+
+
+TABLE1_SHAPES: dict[str, Callable[[int], float]] = {
+    "log k": shape_log,
+    "k": shape_linear,
+    "k^2": shape_quadratic,
+    "k^2/log^2 k": shape_quadratic_over_log2,
+}

@@ -1,0 +1,140 @@
+"""Command-line interface: run any reproduction experiment.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list                 # what can be run
+    python -m repro run table1           # one experiment, full size
+    python -m repro run theorem6 --csv out/   # also save CSVs
+    python -m repro all                  # everything (long)
+
+The CLI is a thin dispatcher over :mod:`repro.experiments`; every
+experiment module's ``run_*`` defaults define its "full size".
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Callable
+
+from repro.experiments.harness import Report
+
+EXPERIMENTS: dict[str, tuple[str, str]] = {
+    # name -> (module, description)
+    "table1": ("repro.experiments.table1", "Table 1: cover & return times"),
+    "theorem1": (
+        "repro.experiments.theorem1",
+        "Thm 1: worst placement Θ(n²/log k) + proof deployment",
+    ),
+    "theorem2": (
+        "repro.experiments.theorem2",
+        "Thm 2: any initialization is O(n²/log k)",
+    ),
+    "theorem3": (
+        "repro.experiments.theorem3",
+        "Thm 3: equal spacing covers in O(n²/k²)",
+    ),
+    "theorem4": (
+        "repro.experiments.theorem4",
+        "Thm 4: pointers forcing Ω(n²/k²) for any placement",
+    ),
+    "theorem5": (
+        "repro.experiments.theorem5",
+        "Thm 5: spaced walks Θ((n/k)² log² k)",
+    ),
+    "theorem6": (
+        "repro.experiments.theorem6",
+        "Thm 6: return time Θ(n/k)",
+    ),
+    "figures": (
+        "repro.experiments.figures",
+        "Figures 1-2: border types, deployment trace",
+    ),
+    "continuous": (
+        "repro.experiments.continuous",
+        "§2.3: ODE vs discrete simulation",
+    ),
+    "speedup_graphs": (
+        "repro.experiments.speedup_graphs",
+        "extension: speed-up on general graphs",
+    ),
+    "stabilization": (
+        "repro.experiments.stabilization",
+        "extension: time-to-limit-cycle across initializations",
+    ),
+}
+
+
+def _reports_of(module_name: str) -> list[Report]:
+    """Collect the default reports of an experiment module.
+
+    Figures expose two reports (``run_figure1``/``run_figure2``);
+    everything else exposes one ``run_<name>``.
+    """
+    module = importlib.import_module(module_name)
+    short = module_name.rsplit(".", 1)[-1]
+    runners: list[Callable[[], Report]] = []
+    if short == "figures":
+        runners = [module.run_figure1, module.run_figure2]
+    else:
+        runners = [getattr(module, f"run_{short}")]
+    return [runner() for runner in runners]
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (_, description) in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {description}")
+    return 0
+
+
+def _cmd_run(name: str, csv_dir: str | None) -> int:
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+        return 2
+    module_name, _ = EXPERIMENTS[name]
+    for report in _reports_of(module_name):
+        print(report.render())
+        print()
+        if csv_dir:
+            for path in report.save_csv(csv_dir):
+                print(f"wrote {path}")
+    return 0
+
+
+def _cmd_all(csv_dir: str | None) -> int:
+    status = 0
+    for name in EXPERIMENTS:
+        print(f"######## {name} ########")
+        status = max(status, _cmd_run(name, csv_dir))
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction experiments for the multi-agent "
+        "rotor-router paper (PODC 2013).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("name", help="experiment name (see 'list')")
+    run_parser.add_argument(
+        "--csv", metavar="DIR", default=None, help="also save CSV tables"
+    )
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument(
+        "--csv", metavar="DIR", default=None, help="also save CSV tables"
+    )
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.name, args.csv)
+    return _cmd_all(args.csv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

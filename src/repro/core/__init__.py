@@ -1,0 +1,28 @@
+"""The multi-agent rotor-router: engines, deployments, domain analysis.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.engine` — the reference engine on arbitrary
+  port-labeled graphs (paper §1.3 model definition);
+* :mod:`repro.core.ring` — a ring-specialized engine with O(k)-per-round
+  stepping, exactly equivalent to the reference engine;
+* :mod:`repro.core.pointers` / :mod:`repro.core.placement` — adversarial
+  and benign initializations (pointer arrangements, agent placements);
+* :mod:`repro.core.delayed` — delayed deployments and the slow-down
+  lemma machinery (paper §2.1, Lemmas 1-3);
+* :mod:`repro.core.domains` — agent domains, lazy domains, border
+  classification on the ring (paper §2.2, Lemmas 4-12, Figure 1);
+* :mod:`repro.core.limit` — limit-cycle detection, return times
+  (paper §4) and Eulerian lock-in for the single agent.
+"""
+
+from repro.core.engine import MultiAgentRotorRouter
+from repro.core.ring import RingRotorRouter
+from repro.core import placement, pointers
+
+__all__ = [
+    "MultiAgentRotorRouter",
+    "RingRotorRouter",
+    "placement",
+    "pointers",
+]

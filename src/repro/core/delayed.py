@@ -1,0 +1,228 @@
+"""Delayed deployments and the slow-down lemma (paper §2.1).
+
+A delayed deployment ``D : V x N -> N`` stops ``D(v, t)`` agents at node
+``v`` in round ``t``.  The paper's three structural lemmas about them
+are all *executable* here and verified by the test suite:
+
+* **Lemma 1** (monotonicity): delaying more agents never increases any
+  visit counter ``n_v(t)``.
+* **Lemma 2** (sandwich): if ``tau`` of the first ``T`` rounds were
+  fully active, then ``n^{R[k]}_v(tau) <= n^D_v(T) <= n^{R[k]}_v(T)``.
+* **Lemma 3** (slow-down lemma): if a delayed deployment covers in
+  ``T`` rounds with ``tau`` fully-active rounds, the undelayed cover
+  time satisfies ``tau <= C(R[k]) <= T``.
+
+Deployments are represented as *schedules*: callables receiving the
+engine before each round and returning the holds mapping for that
+round.  :func:`run_with_schedule` runs a schedule while accounting for
+fully-active rounds, giving the Lemma 3 sandwich for free.  The module
+also provides the single-agent release primitives from which the
+Theorem 1/3/4 constructions are assembled in
+:mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Protocol
+
+Holds = Mapping[int, int]
+
+
+class RotorEngine(Protocol):
+    """Minimal engine interface the deployment machinery relies on."""
+
+    round: int
+    unvisited: int
+    cover_round: int | None
+    counts: object  # dict[int, int] (ring) or ndarray (general)
+
+    def step(self, holds: Holds | None = None) -> list:  # pragma: no cover
+        ...
+
+
+Schedule = Callable[[RotorEngine], Holds | None]
+"""Per-round delay policy: engine -> holds mapping (None = no delays)."""
+
+
+@dataclass(frozen=True)
+class DelayedRunResult:
+    """Outcome of running a schedule (inputs to Lemma 3).
+
+    Attributes
+    ----------
+    total_rounds:
+        ``T`` — rounds executed (from the engine's starting round).
+    fully_active_rounds:
+        ``tau`` — rounds in which no agent was held.
+    cover_round:
+        Round at which the deployment covered the graph (None if the
+        stop condition fired first).
+    """
+
+    total_rounds: int
+    fully_active_rounds: int
+    cover_round: int | None
+
+    def slow_down_bounds(self) -> tuple[int, int]:
+        """Lemma 3: bounds ``(tau, T)`` on the undelayed cover time.
+
+        Only meaningful when the delayed run covered the graph.
+        """
+        if self.cover_round is None:
+            raise ValueError("deployment did not cover the graph")
+        return self.fully_active_rounds, self.total_rounds
+
+
+def agent_count_at(engine: RotorEngine, node: int) -> int:
+    """Number of agents currently at ``node`` (engine-agnostic)."""
+    counts = engine.counts
+    if isinstance(counts, dict):
+        return int(counts.get(node, 0))
+    return int(counts[node])
+
+
+def occupied_nodes(engine: RotorEngine) -> list[int]:
+    """Sorted nodes currently holding at least one agent."""
+    counts = engine.counts
+    if isinstance(counts, dict):
+        return sorted(v for v, c in counts.items() if c > 0)
+    import numpy as np
+
+    return [int(v) for v in np.flatnonzero(counts)]
+
+
+def hold_everything(engine: RotorEngine) -> dict[int, int]:
+    """Holds mapping freezing every agent in place."""
+    counts = engine.counts
+    if isinstance(counts, dict):
+        return {v: c for v, c in counts.items() if c > 0}
+    return {v: agent_count_at(engine, v) for v in occupied_nodes(engine)}
+
+
+def hold_all_except_one_at(engine: RotorEngine, node: int) -> dict[int, int]:
+    """Holds mapping releasing exactly one agent, located at ``node``."""
+    holds = hold_everything(engine)
+    present = holds.get(node, 0)
+    if present <= 0:
+        raise ValueError(f"no agent to release at node {node}")
+    if present == 1:
+        del holds[node]
+    else:
+        holds[node] = present - 1
+    return holds
+
+
+def run_with_schedule(
+    engine: RotorEngine,
+    schedule: Schedule | None,
+    max_rounds: int,
+    stop_when_covered: bool = True,
+) -> DelayedRunResult:
+    """Run ``engine`` under ``schedule`` for at most ``max_rounds``.
+
+    Counts fully-active rounds so the result yields the Lemma 3
+    sandwich.  A ``None`` schedule (or a schedule returning falsy holds)
+    runs the plain undelayed system.
+    """
+    if max_rounds < 0:
+        raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
+    start_round = engine.round
+    fully_active = 0
+    while engine.round - start_round < max_rounds:
+        if stop_when_covered and engine.unvisited == 0:
+            break
+        holds = schedule(engine) if schedule is not None else None
+        if holds:
+            total_held = sum(holds.values())
+        else:
+            total_held = 0
+            holds = None
+        engine.step(holds)
+        if total_held == 0:
+            fully_active += 1
+    return DelayedRunResult(
+        total_rounds=engine.round - start_round,
+        fully_active_rounds=fully_active,
+        cover_round=engine.cover_round,
+    )
+
+
+def move_lone_agent(engine: RotorEngine, node: int) -> int:
+    """Release exactly one agent from ``node`` for one round.
+
+    Every other agent is held.  Returns the released agent's new
+    location.  This is the primitive with which the paper's
+    release-one-by-one constructions (Theorem 1 Phase A/B2, Theorem 3,
+    Theorem 4) are expressed.
+    """
+    holds = hold_all_except_one_at(engine, node)
+    moves = engine.step(holds)
+    released = [(src, dst, cnt) for src, dst, cnt in moves if src == node]
+    if len(released) != 1 or released[0][2] != 1:
+        raise AssertionError(
+            f"expected a single released agent from {node}, got {moves}"
+        )
+    return released[0][1]
+
+
+def walk_lone_agent(
+    engine: RotorEngine,
+    start: int,
+    should_stop: Callable[[int, int], bool],
+    max_rounds: int,
+) -> int:
+    """Walk a single released agent until ``should_stop(position, steps)``.
+
+    The predicate is evaluated after every move; the walk starts at
+    ``start`` (which must hold an agent).  Returns the final position.
+    Raises ``RuntimeError`` if the budget is exhausted, so malformed
+    constructions fail loudly instead of spinning.
+    """
+    position = start
+    for steps_taken in range(1, max_rounds + 1):
+        position = move_lone_agent(engine, position)
+        if should_stop(position, steps_taken):
+            return position
+    raise RuntimeError(
+        f"lone agent did not reach its stop condition within {max_rounds} rounds"
+    )
+
+
+def delay_table_schedule(table: Mapping[int, Holds]) -> Schedule:
+    """Schedule from an explicit table ``{round: {node: held}}``.
+
+    Rounds absent from the table are fully active — the direct encoding
+    of a ``D(v, t)`` function with finite support.
+    """
+
+    def schedule(engine: RotorEngine) -> Holds | None:
+        return table.get(engine.round)
+
+    return schedule
+
+
+def compose_phases(
+    *phases: tuple[Schedule | None, Callable[[RotorEngine], bool]],
+) -> Schedule:
+    """Chain schedules, switching when each phase's ``done`` fires.
+
+    Each phase is ``(schedule, done)``; once ``done(engine)`` is true the
+    next phase takes over (evaluated left to right each round, so phases
+    complete in order).  Used to express multi-phase constructions such
+    as Theorem 1's Phase A / B1 / B2 loop in a readable way.
+    """
+    if not phases:
+        raise ValueError("at least one phase is required")
+
+    def schedule(engine: RotorEngine) -> Holds | None:
+        for phase_schedule, done in phases:
+            if not done(engine):
+                return (
+                    phase_schedule(engine)
+                    if phase_schedule is not None
+                    else None
+                )
+        return None
+
+    return schedule

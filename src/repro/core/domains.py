@@ -1,0 +1,366 @@
+"""Agent domains on the ring (paper §2.2, Lemmas 4-12, Figure 1).
+
+When k agents run on the ring, the visited nodes partition into
+*domains*: the domain of an agent is the sub-path of nodes it was the
+last to visit.  Formally the paper defines, for a visited node ``v``
+not holding an agent, ``o(v, t)`` as the first node containing an agent
+in the direction *opposite* to the pointer at ``v``; nodes sharing an
+``o``-value form the domain of the agent at ``o(v, t)`` (Lemma 4).
+
+The *lazy* domain ``V'_a(t)`` keeps only nodes whose last visit was by
+a single agent and was a *propagation* (the agent moved on, instead of
+reflecting back where it came from) — Definition 1.  Lazy domains are
+insensitive to the +/-1 oscillation of borders and are the objects
+whose sizes the paper proves converge (Lemma 12).
+
+This module provides:
+
+* :class:`VisitTypeTracker` — classifies every visit as propagation /
+  reflection / multi-agent, online, in O(k) per round;
+* :func:`domain_snapshot` — the exact domain/lazy-domain partition of a
+  configuration (O(n));
+* :func:`classify_borders` — vertex-type vs edge-type borders between
+  adjacent lazy domains (Figure 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.ring import RingRotorRouter
+
+
+class VisitKind(enum.IntEnum):
+    """Classification of the most recent visit to a node."""
+
+    NEVER = 0          # node not visited yet (dummy domain V_bot)
+    INITIAL = 1        # occupied at round 0 and not revisited since
+    PROPAGATION = 2    # single agent arrived and will continue onward
+    REFLECTION = 3     # single agent arrived and will bounce back
+    MULTIPLE = 4       # two+ agents arrived (or arrival met a held agent)
+
+
+class DomainError(RuntimeError):
+    """Raised when domains are not well defined (3+ agents on a node)."""
+
+
+@dataclass(frozen=True)
+class Domain:
+    """One agent domain: a contiguous arc of the ring.
+
+    ``start`` is the first node of the arc walking clockwise and
+    ``length`` its node count, so the arc is ``start, start+1, ...,
+    start+length-1`` (mod n).  ``anchor`` is the agent node that owns
+    the domain (the shared ``o``-value).  The lazy sub-arc is given by
+    ``lazy_start``/``lazy_length`` (``lazy_length == 0`` when empty).
+    """
+
+    anchor: int
+    start: int
+    length: int
+    lazy_start: int
+    lazy_length: int
+
+    def nodes(self, n: int) -> list[int]:
+        return [(self.start + i) % n for i in range(self.length)]
+
+    def lazy_nodes(self, n: int) -> list[int]:
+        return [(self.lazy_start + i) % n for i in range(self.lazy_length)]
+
+    def contains(self, n: int, v: int) -> bool:
+        return (v - self.start) % n < self.length
+
+
+@dataclass(frozen=True)
+class DomainSnapshot:
+    """The full domain partition of a configuration at one round."""
+
+    round: int
+    n: int
+    domains: tuple[Domain, ...]   # in clockwise ring order
+    unvisited: tuple[int, ...]    # the dummy domain V_bot
+
+    def sizes(self) -> list[int]:
+        return [d.length for d in self.domains]
+
+    def lazy_sizes(self) -> list[int]:
+        return [d.lazy_length for d in self.domains]
+
+    def max_adjacent_lazy_difference(self) -> int:
+        """Largest |size difference| between cyclically adjacent lazy
+        domains — the quantity Lemma 12 proves converges to <= 10.
+
+        Only meaningful once the ring is covered (no dummy domain
+        separating the extremes)."""
+        sizes = self.lazy_sizes()
+        if len(sizes) < 2:
+            return 0
+        return max(
+            abs(sizes[i] - sizes[(i + 1) % len(sizes)])
+            for i in range(len(sizes))
+        )
+
+
+class VisitTypeTracker:
+    """Online propagation/reflection classification for a ring engine.
+
+    Drive the engine through :meth:`advance` (or call :meth:`observe`
+    with the moves of every externally-performed step) and the tracker
+    maintains, per node, the :class:`VisitKind` of its most recent
+    visit plus the round it happened in.
+
+    Classification rule: a visit is the arrival of agents at a node.
+    If exactly one agent arrived at ``dst`` (and no held agent sat
+    there), the agent's next exit leaves along the current pointer, so
+    the visit is a PROPAGATION iff the pointer at ``dst`` now equals the
+    agent's direction of travel; otherwise it is a REFLECTION.  Visits
+    by two agents at once are MULTIPLE (not lazy-eligible).
+    """
+
+    def __init__(self, engine: RingRotorRouter) -> None:
+        self.engine = engine
+        n = engine.n
+        self.kinds = [VisitKind.NEVER] * n
+        self.last_visit_round = [-1] * n
+        for v in engine.counts:
+            self.kinds[v] = VisitKind.INITIAL
+            self.last_visit_round[v] = engine.round
+
+    def advance(self, holds: Mapping[int, int] | None = None) -> list:
+        """Step the engine one round and classify the arrivals."""
+        moves = self.engine.step(holds)
+        self.observe(moves)
+        return moves
+
+    def run(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.advance()
+
+    def observe(self, moves: Sequence[tuple[int, int, int]]) -> None:
+        """Classify the arrivals of one already-performed round."""
+        engine = self.engine
+        n = engine.n
+        arrivals: dict[int, tuple[int, int]] = {}
+        for src, dst, cnt in moves:
+            total, _ = arrivals.get(dst, (0, src))
+            arrivals[dst] = (total + cnt, src)
+        for dst, (total, src) in arrivals.items():
+            if total == 1 and engine.counts.get(dst, 0) == 1:
+                direction = 1 if (dst - src) % n == 1 else -1
+                if engine.ptr[dst] == direction:
+                    kind = VisitKind.PROPAGATION
+                else:
+                    kind = VisitKind.REFLECTION
+            else:
+                kind = VisitKind.MULTIPLE
+            self.kinds[dst] = kind
+            self.last_visit_round[dst] = engine.round
+
+
+def _nearest_occupied(
+    n: int, occupied: set[int]
+) -> tuple[list[int], list[int]]:
+    """For every node, the nearest occupied node clockwise/anticlockwise.
+
+    A node containing an agent is its own nearest in both directions.
+    Two sweeps in each direction handle the cyclic wrap-around.
+    """
+    nearest_cw = [-1] * n
+    current = -1
+    for v in range(2 * n - 1, -1, -1):
+        idx = v % n
+        if idx in occupied:
+            current = idx
+        nearest_cw[idx] = current
+    nearest_acw = [-1] * n
+    current = -1
+    for v in range(2 * n):
+        idx = v % n
+        if idx in occupied:
+            current = idx
+        nearest_acw[idx] = current
+    return nearest_cw, nearest_acw
+
+
+def o_values(engine: RingRotorRouter) -> list[int | None]:
+    """The paper's ``o(v, t)`` map for the current configuration.
+
+    ``None`` encodes the undefined value (unvisited node).  An occupied
+    node maps to itself; any other visited node maps to the first
+    occupied node in the direction opposite to its pointer.
+    """
+    n = engine.n
+    occupied = set(engine.counts)
+    if not occupied:
+        raise DomainError("no agents on the ring")
+    nearest_cw, nearest_acw = _nearest_occupied(n, occupied)
+    result: list[int | None] = [None] * n
+    for v in range(n):
+        if v in occupied:
+            result[v] = v
+        elif engine.visited[v]:
+            # Opposite direction to the pointer: ptr -1 -> clockwise scan.
+            result[v] = nearest_cw[v] if engine.ptr[v] == -1 else nearest_acw[v]
+    return result
+
+
+def _lazy_run(
+    n: int,
+    arc_start: int,
+    arc_length: int,
+    kinds: Sequence[VisitKind],
+) -> tuple[int, int]:
+    """Longest run of PROPAGATION nodes inside the arc.
+
+    Lemma 6 guarantees the lazy nodes of a domain form a single run
+    (up to endpoints); taking the longest run makes the computation
+    total even mid-transient.  Returns ``(start, length)`` with length
+    0 when the domain has no propagation-visited node.
+    """
+    best_start, best_length = arc_start, 0
+    run_start, run_length = arc_start, 0
+    for i in range(arc_length):
+        v = (arc_start + i) % n
+        if kinds[v] == VisitKind.PROPAGATION:
+            if run_length == 0:
+                run_start = v
+            run_length += 1
+            if run_length > best_length:
+                best_start, best_length = run_start, run_length
+        else:
+            run_length = 0
+    return best_start, best_length
+
+
+def domain_snapshot(
+    engine: RingRotorRouter,
+    tracker: VisitTypeTracker | None = None,
+) -> DomainSnapshot:
+    """Compute the exact domain partition of the current configuration.
+
+    Requires at most 2 agents per node (Lemma 5 guarantees this is
+    preserved once true); raises :class:`DomainError` otherwise.  When
+    ``tracker`` is omitted, lazy domains are reported as empty.
+    """
+    n = engine.n
+    for v, c in engine.counts.items():
+        if c > 2:
+            raise DomainError(
+                f"{c} agents at node {v}: domains are undefined (Lemma 5)"
+            )
+    omap = o_values(engine)
+    kinds = tracker.kinds if tracker is not None else [VisitKind.NEVER] * n
+
+    unvisited = tuple(v for v in range(n) if omap[v] is None)
+    domains: list[Domain] = []
+    for anchor in sorted(engine.counts):
+        # Expand the arc {v : o(v) = anchor} around the anchor.  The arc
+        # is contiguous (Lemma 4 / Lemma 6), so expansion terminates at
+        # the first node with a different o-value in each direction.
+        left = anchor
+        steps = 0
+        while steps < n - 1:
+            candidate = (left - 1) % n
+            if omap[candidate] == anchor and candidate != anchor:
+                left = candidate
+                steps += 1
+            else:
+                break
+        right = anchor
+        steps = 0
+        while steps < n - 1:
+            candidate = (right + 1) % n
+            if omap[candidate] == anchor and candidate != anchor:
+                right = candidate
+                steps += 1
+            else:
+                break
+        arc_start = left
+        arc_length = (right - left) % n + 1
+
+        if engine.counts[anchor] == 2:
+            # Two agents share the anchor: split the arc at the anchor.
+            # With the pointer clockwise, the anchor joins the
+            # anticlockwise part (paper §2.2); mirrored otherwise.
+            acw_len = (anchor - left) % n  # nodes strictly left of anchor
+            cw_len = (right - anchor) % n  # nodes strictly right of anchor
+            if engine.ptr[anchor] == 1:
+                first = (left, acw_len + 1)   # includes the anchor
+                second = ((anchor + 1) % n, cw_len)
+            else:
+                first = (left, acw_len)
+                second = (anchor, cw_len + 1)  # includes the anchor
+            for part_start, part_length in (first, second):
+                lazy_start, lazy_length = _lazy_run(
+                    n, part_start, part_length, kinds
+                )
+                domains.append(
+                    Domain(
+                        anchor=anchor,
+                        start=part_start,
+                        length=part_length,
+                        lazy_start=lazy_start,
+                        lazy_length=lazy_length,
+                    )
+                )
+        else:
+            lazy_start, lazy_length = _lazy_run(n, arc_start, arc_length, kinds)
+            domains.append(
+                Domain(
+                    anchor=anchor,
+                    start=arc_start,
+                    length=arc_length,
+                    lazy_start=lazy_start,
+                    lazy_length=lazy_length,
+                )
+            )
+
+    domains.sort(key=lambda d: d.start)
+    return DomainSnapshot(
+        round=engine.round,
+        n=n,
+        domains=tuple(domains),
+        unvisited=unvisited,
+    )
+
+
+class BorderType(enum.Enum):
+    """Border shapes between adjacent lazy domains (paper Figure 1)."""
+
+    VERTEX = "vertex"     # one vertex separates the two lazy arcs
+    EDGE = "edge"         # the lazy arcs are adjacent (swap on the edge)
+    TRANSIENT = "transient"  # wider gap: an edge traversed for the first
+    # time in the last step or so (paper: "only in one special case")
+
+
+def classify_borders(snapshot: DomainSnapshot) -> list[BorderType]:
+    """Classify the border between each pair of adjacent lazy domains.
+
+    Returns one entry per adjacent pair (cyclically) of *nonempty* lazy
+    domains with no unvisited nodes between them.  Matches Figure 1:
+    gap 1 -> vertex-type, gap 0 -> edge-type, anything else transient.
+    """
+    n = snapshot.n
+    lazy = [d for d in snapshot.domains if d.lazy_length > 0]
+    if len(lazy) < 2:
+        return []
+    unvisited = set(snapshot.unvisited)
+    borders: list[BorderType] = []
+    for i, dom in enumerate(lazy):
+        nxt = lazy[(i + 1) % len(lazy)]
+        if nxt is dom:
+            break
+        end = (dom.lazy_start + dom.lazy_length - 1) % n
+        gap = (nxt.lazy_start - end) % n - 1
+        between = [(end + 1 + j) % n for j in range(max(gap, 0))]
+        if any(v in unvisited for v in between):
+            continue  # border with the dummy domain, not an agent border
+        if gap == 1:
+            borders.append(BorderType.VERTEX)
+        elif gap == 0:
+            borders.append(BorderType.EDGE)
+        else:
+            borders.append(BorderType.TRANSIENT)
+    return borders

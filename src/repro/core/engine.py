@@ -1,0 +1,293 @@
+"""Reference multi-agent rotor-router engine on port-labeled graphs.
+
+Implements the model of paper §1.3 verbatim:
+
+* A configuration is ``((rho_v), (pi_v), {r_1..r_k})``: fixed cyclic port
+  orders, one port pointer per node, and a multiset of agent locations.
+* In every round, each (non-held) agent at node ``v`` leaves along the
+  pointer arc and the pointer advances; when ``c`` agents occupy ``v``
+  they leave along ports ``pi_v, pi_v + 1, ..., pi_v + c - 1`` (mod
+  ``deg(v)``) and the pointer ends at ``pi_v + c``.
+* A node is *visited* in round ``t`` when an agent traverses an arc into
+  it; initial occupancy counts as a visit at round 0 (``n_v(0)``).
+
+The engine exposes the counters used throughout the paper's analysis:
+``visit_counts`` (``n_v(t)``), ``exit_counts`` (``e_v(t)``) and, when
+enabled, per-arc traversal counts against which the round-robin law
+``ceil((e_v - port_v(u)) / deg(v))`` is verified in the test suite.
+
+Delays are supported directly by :meth:`MultiAgentRotorRouter.step`:
+``holds[v]`` agents are kept at ``v`` for the round, which is exactly a
+delayed deployment ``D(v, t)`` in the sense of paper §2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.graphs.base import PortLabeledGraph
+
+Move = tuple[int, int, int]
+"""One aggregated agent movement: ``(source, destination, agent_count)``."""
+
+
+@dataclass(frozen=True)
+class EngineState:
+    """An immutable snapshot of the dynamic engine state.
+
+    Port orders are static and not part of the snapshot.  ``key`` is a
+    compact byte representation of (pointers, counts) used for limit
+    cycle detection: two engines on the same graph are in the same
+    configuration iff their keys are equal (agents are indistinguishable,
+    so the multiset of locations — i.e. the counts vector — suffices).
+    """
+
+    round: int
+    pointers: tuple[int, ...]
+    counts: tuple[int, ...]
+    visited: bytes
+    unvisited: int
+    cover_round: int | None
+
+    @property
+    def key(self) -> bytes:
+        return np.asarray(self.pointers, dtype=np.int64).tobytes() + \
+            np.asarray(self.counts, dtype=np.int64).tobytes()
+
+
+class MultiAgentRotorRouter:
+    """k indistinguishable agents moving through one rotor-router system.
+
+    Parameters
+    ----------
+    graph:
+        The port-labeled substrate graph.
+    pointers:
+        Initial port pointer per node (``0 <= pointers[v] < deg(v)``).
+    agents:
+        Iterable of starting nodes; repetitions mean several agents on
+        the same node (the paper's all-on-one worst case).
+    track_arcs:
+        When true, maintain per-arc traversal counts (costs memory
+        proportional to the number of arcs; used by invariant tests and
+        the Eulerian lock-in detector).
+    """
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        pointers: Sequence[int],
+        agents: Iterable[int],
+        track_arcs: bool = False,
+    ) -> None:
+        self.graph = graph
+        n = graph.num_nodes
+        if len(pointers) != n:
+            raise ValueError(
+                f"pointers has length {len(pointers)}, graph has {n} nodes"
+            )
+        self.pointers = [int(p) for p in pointers]
+        for v, p in enumerate(self.pointers):
+            if not 0 <= p < graph.degree(v):
+                raise ValueError(
+                    f"pointer {p} at node {v} out of range for degree "
+                    f"{graph.degree(v)}"
+                )
+        self.counts = np.zeros(n, dtype=np.int64)
+        agent_list = [int(a) for a in agents]
+        if not agent_list:
+            raise ValueError("at least one agent is required")
+        for a in agent_list:
+            if not 0 <= a < n:
+                raise ValueError(f"agent position {a} out of range")
+            self.counts[a] += 1
+        self.num_agents = len(agent_list)
+
+        self.round = 0
+        self.visited = self.counts > 0
+        self.unvisited = int(n - np.count_nonzero(self.visited))
+        self.cover_round: int | None = 0 if self.unvisited == 0 else None
+        # n_v(0) in the paper: agents present directly after initialization.
+        self.visit_counts = self.counts.copy()
+        self.exit_counts = np.zeros(n, dtype=np.int64)
+        self.initial_pointers = tuple(self.pointers)
+
+        self.track_arcs = bool(track_arcs)
+        self.arc_traversals: list[np.ndarray] | None = None
+        if self.track_arcs:
+            self.arc_traversals = [
+                np.zeros(graph.degree(v), dtype=np.int64) for v in range(n)
+            ]
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self, holds: Mapping[int, int] | None = None) -> list[Move]:
+        """Advance one synchronous round; return aggregated moves.
+
+        ``holds[v]`` agents are delayed at node ``v`` for this round
+        (paper §2.1): they neither move nor advance the pointer.  The
+        returned list contains one ``(src, dst, count)`` entry per arc
+        actually traversed this round.
+        """
+        graph = self.graph
+        counts = self.counts
+        pointers = self.pointers
+        if holds is not None:
+            # Validate up front so a bad holds mapping cannot leave the
+            # engine half-stepped.
+            for v, h in holds.items():
+                if h < 0:
+                    raise ValueError(f"negative hold {h} at node {v}")
+                present = int(counts[v])
+                if h > present:
+                    raise ValueError(
+                        f"cannot hold {h} agents at node {v}: "
+                        f"only {present} present"
+                    )
+        moves: list[Move] = []
+        active = np.flatnonzero(counts)
+        for v_raw in active:
+            v = int(v_raw)
+            c = int(counts[v])
+            held = 0 if holds is None else int(holds.get(v, 0))
+            release = c - held
+            if release == 0:
+                continue
+            degree = graph.degree(v)
+            p = pointers[v]
+            neighbors = graph.neighbors(v)
+            # Port p + j is used by agents j, j + deg, j + 2*deg, ...
+            base, extra = divmod(release, degree)
+            for j in range(min(release, degree)):
+                port = (p + j) % degree
+                count_via_port = base + (1 if j < extra else 0)
+                moves.append((v, neighbors[port], count_via_port))
+                if self.arc_traversals is not None:
+                    self.arc_traversals[v][port] += count_via_port
+            pointers[v] = (p + release) % degree
+            self.exit_counts[v] += release
+            counts[v] = held
+        for _, dst, cnt in moves:
+            counts[dst] += cnt
+            self.visit_counts[dst] += cnt
+            if not self.visited[dst]:
+                self.visited[dst] = True
+                self.unvisited -= 1
+        self.round += 1
+        if self.unvisited == 0 and self.cover_round is None:
+            self.cover_round = self.round
+        return moves
+
+    def run(self, rounds: int) -> None:
+        """Advance ``rounds`` undelayed rounds."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        for _ in range(rounds):
+            self.step()
+
+    def run_until_covered(self, max_rounds: int | None = None) -> int:
+        """Run undelayed until every node has been visited.
+
+        Returns the cover time (the round in which the last node was
+        first visited).  Raises ``RuntimeError`` when ``max_rounds``
+        elapse without covering, so runaway experiments fail loudly.
+        """
+        while self.cover_round is None:
+            if max_rounds is not None and self.round >= max_rounds:
+                raise RuntimeError(
+                    f"not covered within {max_rounds} rounds "
+                    f"({self.unvisited} nodes unvisited)"
+                )
+            self.step()
+        return self.cover_round
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    def positions(self) -> list[int]:
+        """Sorted agent locations with multiplicity."""
+        result: list[int] = []
+        for v in np.flatnonzero(self.counts):
+            result.extend([int(v)] * int(self.counts[v]))
+        return result
+
+    def state_key(self) -> bytes:
+        """Compact configuration identity (pointers + agent multiset)."""
+        return (
+            np.asarray(self.pointers, dtype=np.int64).tobytes()
+            + self.counts.tobytes()
+        )
+
+    def snapshot(self) -> EngineState:
+        return EngineState(
+            round=self.round,
+            pointers=tuple(self.pointers),
+            counts=tuple(int(c) for c in self.counts),
+            visited=self.visited.tobytes(),
+            unvisited=self.unvisited,
+            cover_round=self.cover_round,
+        )
+
+    def restore(self, state: EngineState) -> None:
+        """Restore a snapshot taken from this engine (same graph)."""
+        if len(state.pointers) != self.graph.num_nodes:
+            raise ValueError("snapshot does not match this graph")
+        self.round = state.round
+        self.pointers = list(state.pointers)
+        self.counts = np.asarray(state.counts, dtype=np.int64).copy()
+        self.visited = np.frombuffer(state.visited, dtype=bool).copy()
+        self.unvisited = state.unvisited
+        self.cover_round = state.cover_round
+        # Visit/exit counters are not part of the configuration; they are
+        # monotone analysis counters and intentionally survive a restore.
+
+    def clone(self) -> "MultiAgentRotorRouter":
+        """An independent engine in the same configuration.
+
+        Analysis counters (visit/exit/arc counts) restart from the
+        cloned configuration rather than carrying history over.
+        """
+        twin = MultiAgentRotorRouter(
+            self.graph,
+            self.pointers,
+            self.positions(),
+            track_arcs=self.track_arcs,
+        )
+        twin.round = self.round
+        twin.visited = self.visited.copy()
+        twin.unvisited = self.unvisited
+        twin.cover_round = self.cover_round
+        return twin
+
+    # ------------------------------------------------------------------
+    # invariants from the paper
+    # ------------------------------------------------------------------
+    def expected_arc_traversals(self, v: int, u: int) -> int:
+        """Round-robin traversal law of paper §1.3.
+
+        With port labels assigned so the *initial* pointer at ``v`` has
+        label 0, the number of traversals of arc ``(v, u)`` equals
+        ``ceil((e_v - port_v(u)) / deg(v))`` where ``e_v`` is the total
+        number of agent exits from ``v`` so far.
+        """
+        degree = self.graph.degree(v)
+        raw_port = self.graph.port_to(v, u)
+        label = (raw_port - self.initial_pointers[v]) % degree
+        exits = int(self.exit_counts[v])
+        return max(0, -(-(exits - label) // degree))
+
+    def measured_arc_traversals(self, v: int, u: int) -> int:
+        """Actual traversal count of arc ``(v, u)`` (requires track_arcs)."""
+        if self.arc_traversals is None:
+            raise RuntimeError("engine was created with track_arcs=False")
+        return int(self.arc_traversals[v][self.graph.port_to(v, u)])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiAgentRotorRouter(n={self.graph.num_nodes}, "
+            f"k={self.num_agents}, round={self.round})"
+        )

@@ -1,0 +1,106 @@
+"""Dense-array ring stepping: the O(n)-per-round design alternative.
+
+:class:`repro.core.ring.RingRotorRouter` keeps only the occupied nodes
+(a dict), making a round O(k).  The natural alternative — full numpy
+arrays over all n nodes, vectorized per round — is asymptotically worse
+for k << n but has tiny constants and no per-agent Python overhead,
+so it wins when agents are dense (e.g. the load-balancing regime
+k >= n).  This module implements that design; the ablation benchmark
+``benchmarks/bench_engine_kernels.py`` measures the crossover, and the
+test suite pins both engines to identical trajectories.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class DenseRingRotorRouter:
+    """Vectorized k-agent rotor-router on the n-ring (dense arrays).
+
+    Semantics identical to :class:`repro.core.ring.RingRotorRouter`;
+    only the data layout differs: ``counts`` and ``pointers`` are full
+    length-n arrays and each round is a constant number of numpy ops.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        pointers: Sequence[int],
+        agents: Iterable[int],
+    ) -> None:
+        if n < 3:
+            raise ValueError(f"ring requires n >= 3, got {n}")
+        if len(pointers) != n:
+            raise ValueError(
+                f"pointers has length {len(pointers)}, ring has {n} nodes"
+            )
+        self.n = n
+        ptr = np.asarray(pointers, dtype=np.int8)
+        if not np.all((ptr == 1) | (ptr == -1)):
+            raise ValueError("pointers must be +1 or -1")
+        self.ptr = ptr.copy()
+        self.counts = np.zeros(n, dtype=np.int64)
+        agent_list = [int(a) for a in agents]
+        if not agent_list:
+            raise ValueError("at least one agent is required")
+        for a in agent_list:
+            if not 0 <= a < n:
+                raise ValueError(f"agent position {a} out of range")
+            self.counts[a] += 1
+        self.num_agents = len(agent_list)
+        self.round = 0
+        self.visited = self.counts > 0
+        self.unvisited = int(n - np.count_nonzero(self.visited))
+        self.cover_round: int | None = 0 if self.unvisited == 0 else None
+
+    def step(self) -> None:
+        """One synchronous round, fully vectorized (no move list)."""
+        counts = self.counts
+        ptr = self.ptr
+        via_pointer = (counts + 1) >> 1
+        via_other = counts - via_pointer
+        forward = np.where(ptr == 1, via_pointer, via_other)
+        backward = counts - forward
+        arrivals = np.roll(forward, 1) + np.roll(backward, -1)
+        # Odd exit counts flip the pointer.
+        odd = (counts & 1).astype(bool)
+        np.negative(ptr, where=odd, out=ptr)
+        self.counts = arrivals
+        fresh = (arrivals > 0) & ~self.visited
+        if fresh.any():
+            self.visited |= fresh
+            self.unvisited = int(self.n - np.count_nonzero(self.visited))
+        self.round += 1
+        if self.unvisited == 0 and self.cover_round is None:
+            self.cover_round = self.round
+
+    def run(self, rounds: int) -> None:
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        for _ in range(rounds):
+            self.step()
+
+    def run_until_covered(self, max_rounds: int | None = None) -> int:
+        while self.cover_round is None:
+            if max_rounds is not None and self.round >= max_rounds:
+                raise RuntimeError(
+                    f"not covered within {max_rounds} rounds "
+                    f"({self.unvisited} nodes unvisited)"
+                )
+            self.step()
+        return self.cover_round
+
+    def positions(self) -> list[int]:
+        result: list[int] = []
+        for v in np.flatnonzero(self.counts):
+            result.extend([int(v)] * int(self.counts[v]))
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DenseRingRotorRouter(n={self.n}, k={self.num_agents}, "
+            f"round={self.round})"
+        )

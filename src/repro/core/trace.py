@@ -1,0 +1,131 @@
+"""Run recording and plain-text visualization of ring configurations.
+
+Debugging a deterministic interacting-particle system is mostly about
+*seeing* it.  This module provides:
+
+* :class:`RunRecorder` — records per-round positions / pointer
+  snapshots / move lists of any ring-like engine, with a bounded
+  memory budget;
+* :func:`render_configuration` — a one-line ASCII picture of a ring
+  configuration (agents, pointers, unvisited nodes);
+* :func:`render_domains` — the domain-colored picture used by
+  ``examples/domain_dynamics.py``.
+
+The renderers are plain functions over engine state, so they also
+serve as cheap golden-output material in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.domains import DomainSnapshot
+from repro.core.ring import RingRotorRouter
+
+_AGENT_GLYPHS = "123456789*"
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def render_configuration(engine: RingRotorRouter) -> str:
+    """One-line picture of a ring engine's configuration.
+
+    Per node: a digit = that many agents (``*`` for 10+), ``>``/``<`` =
+    empty visited node with a clockwise/anticlockwise pointer, ``.`` =
+    unvisited node.
+    """
+    cells = []
+    for v in range(engine.n):
+        count = engine.counts.get(v, 0)
+        if count > 0:
+            cells.append(_AGENT_GLYPHS[min(count, 10) - 1])
+        elif engine.visited[v]:
+            cells.append(">" if engine.ptr[v] == 1 else "<")
+        else:
+            cells.append(".")
+    return "".join(cells)
+
+
+def render_domains(snapshot: DomainSnapshot, width: int | None = None) -> str:
+    """Domain-colored one-line picture of a :class:`DomainSnapshot`.
+
+    Letters identify domains (capital letter at the anchor node);
+    ``.`` marks unvisited nodes.  When ``width`` is given and smaller
+    than n, the picture is downsampled by striding.
+    """
+    n = snapshot.n
+    cells = ["."] * n
+    for index, domain in enumerate(snapshot.domains):
+        letter = _LETTERS[index % len(_LETTERS)]
+        for v in domain.nodes(n):
+            cells[v] = letter
+        cells[domain.anchor] = letter.upper()
+    if width is None or n <= width:
+        return "".join(cells)
+    stride = n / width
+    return "".join(cells[int(i * stride)] for i in range(width))
+
+
+@dataclass
+class RunRecord:
+    """One recorded round."""
+
+    round: int
+    positions: tuple[int, ...]
+    moves: tuple[tuple[int, int, int], ...]
+
+
+@dataclass
+class RunRecorder:
+    """Bounded-memory recorder of an engine run.
+
+    Drives the engine through :meth:`advance`; keeps at most
+    ``capacity`` most recent rounds (a deque would do, but a list with
+    trimming keeps slicing simple for reports).
+    """
+
+    engine: RingRotorRouter
+    capacity: int = 10_000
+    records: list[RunRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be positive")
+
+    def advance(self, rounds: int = 1) -> None:
+        """Step the engine, recording each round."""
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        for _ in range(rounds):
+            moves = self.engine.step()
+            self.records.append(
+                RunRecord(
+                    round=self.engine.round,
+                    positions=tuple(self.engine.positions()),
+                    moves=tuple(sorted(moves)),
+                )
+            )
+        if len(self.records) > self.capacity:
+            del self.records[: len(self.records) - self.capacity]
+
+    def positions_over_time(self) -> list[tuple[int, ...]]:
+        return [record.positions for record in self.records]
+
+    def node_visit_rounds(self, node: int) -> list[int]:
+        """Rounds (within the recorded window) at which ``node`` was
+        visited by at least one agent."""
+        result = []
+        for record in self.records:
+            if any(dst == node for _, dst, _ in record.moves):
+                result.append(record.round)
+        return result
+
+    def timeline(self, last: int = 20) -> str:
+        """Multi-line ASCII timeline of the last recorded rounds."""
+        lines = []
+        for record in self.records[-last:]:
+            marks = ["."] * self.engine.n
+            for position in record.positions:
+                marks[position] = "#"
+            lines.append(f"{record.round:>7} " + "".join(marks))
+        return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Experiment reproductions: one module per paper artifact.
+
+Every module exposes ``run_*`` functions returning data objects /
+:class:`repro.util.tables.Table` instances, plus a ``main()`` that
+prints the full-size reproduction, so each experiment is runnable as::
+
+    python -m repro.experiments.table1
+    python -m repro.experiments.theorem1
+    ...
+
+The benchmark suite (``benchmarks/``) calls the same ``run_*``
+functions with scaled-down parameters; EXPERIMENTS.md records the
+outcomes side by side with the paper's claims.
+
+| Module            | Paper artifact                                   |
+|-------------------|--------------------------------------------------|
+| table1            | Table 1 (cover & return times, both models)      |
+| deployments       | Theorem 1 Phase A/B1/B2 construction (Figure 2)  |
+| theorem1          | Worst-case placement cover Θ(n²/log k)           |
+| theorem2          | Upper bound for arbitrary initializations        |
+| theorem3          | Equally-spaced placement cover O(n²/k²)          |
+| theorem4          | Lower bound Ω(n²/k²) via remote vertices         |
+| theorem5          | k random walks, best placement Θ((n/k)²log²k)    |
+| theorem6          | Return time Θ(n/k)                               |
+| figures           | Figure 1 (border types) and Figure 2 (trace)     |
+| continuous        | §2.3 ODE vs discrete simulation                  |
+| speedup_graphs    | Multi-agent speed-up on general graphs ([27])    |
+"""

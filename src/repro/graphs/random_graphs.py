@@ -1,0 +1,95 @@
+"""Seeded random graphs (expanders in practice) and port shuffling.
+
+Parallel random-walk speed-up is known to be linear on expanders
+(Alon et al. [4], Elsässer–Sauerwald [15]); we reproduce the analogous
+multi-agent rotor-router behaviour on random regular graphs.  Both
+generators take explicit seeds so experiments are reproducible, and
+both return connected graphs (retrying the construction when needed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import PortLabeledGraph
+from repro.util.rng import make_rng
+
+_MAX_ATTEMPTS = 200
+
+
+def gnp_random_graph(
+    n: int,
+    p: float,
+    seed: int | np.random.Generator | None = 0,
+    require_connected: bool = True,
+) -> PortLabeledGraph:
+    """Erdős–Rényi G(n, p) with ports in ascending neighbor order.
+
+    When ``require_connected`` is set the construction retries with
+    fresh randomness until the sample is connected, which for
+    ``p >= 2 ln n / n`` succeeds quickly.
+    """
+    if n < 2:
+        raise ValueError(f"G(n,p) requires n >= 2, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = make_rng(seed)
+    for _ in range(_MAX_ATTEMPTS):
+        mask = rng.random((n, n)) < p
+        edges = [
+            (u, v) for u in range(n) for v in range(u + 1, n) if mask[u, v]
+        ]
+        graph = PortLabeledGraph.from_edges(n, edges)
+        if not require_connected or graph.is_connected():
+            return graph
+    raise RuntimeError(
+        f"failed to sample a connected G({n}, {p}) in {_MAX_ATTEMPTS} attempts"
+    )
+
+
+def random_regular_graph(
+    n: int, degree: int, seed: int | np.random.Generator | None = 0
+) -> PortLabeledGraph:
+    """A connected random d-regular graph.
+
+    Delegates the sampling to networkx (whose algorithm avoids the
+    naive pairing model's exponential rejection rate at higher degrees)
+    and retries with derived seeds until the sample is connected —
+    quick for d >= 3, where random regular graphs are connected w.h.p.
+    """
+    if n * degree % 2 != 0:
+        raise ValueError("n * degree must be even")
+    if degree >= n:
+        raise ValueError("degree must be smaller than n")
+    if degree < 1:
+        raise ValueError("degree must be at least 1")
+    import networkx as nx
+
+    rng = make_rng(seed)
+    for _ in range(_MAX_ATTEMPTS):
+        sample_seed = int(rng.integers(0, 2 ** 31 - 1))
+        nx_graph = nx.random_regular_graph(degree, n, seed=sample_seed)
+        graph = PortLabeledGraph.from_edges(n, nx_graph.edges())
+        if graph.is_connected():
+            return graph
+    raise RuntimeError(
+        f"failed to sample a connected {degree}-regular graph on {n} nodes"
+    )
+
+
+def shuffled_ports(
+    graph: PortLabeledGraph, seed: int | np.random.Generator | None = 0
+) -> PortLabeledGraph:
+    """Return the same graph with every node's port order shuffled.
+
+    Port orders are part of the adversarial initialization in the
+    rotor-router model; shuffling them (deterministically, per seed)
+    lets experiments sample over cyclic orders on graphs of degree > 2.
+    """
+    rng = make_rng(seed)
+    new_ports = []
+    for v in range(graph.num_nodes):
+        row = list(graph.neighbors(v))
+        rng.shuffle(row)
+        new_ports.append(row)
+    return PortLabeledGraph(new_ports)

@@ -1,0 +1,26 @@
+"""Rotor-router load balancing (paper §1.2 related work).
+
+With many more tokens than nodes (k >> n), the agents of the parallel
+rotor-router are naturally read as units of load being passed around a
+processor network.  Cooper and Spencer [12] proved the rotor-router
+keeps the token count at every grid node within a *constant* of the
+expected count under the random walk; Akbari–Berenbrink [1] and
+Berenbrink et al. [8] extended such bounds to hypercubes and general
+regular graphs.  This extension package measures that behaviour with
+the same engine used everywhere else (tokens are just agents).
+"""
+
+from repro.loadbalance.diffusion import RotorDiffusion, random_walk_diffusion
+from repro.loadbalance.discrepancy import (
+    DiscrepancyTrace,
+    discrepancy_trace,
+    uniform_discrepancy,
+)
+
+__all__ = [
+    "RotorDiffusion",
+    "random_walk_diffusion",
+    "DiscrepancyTrace",
+    "discrepancy_trace",
+    "uniform_discrepancy",
+]

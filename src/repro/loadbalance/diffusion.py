@@ -1,0 +1,91 @@
+"""Token diffusion processes: rotor-router vs random walk.
+
+Both processes move k tokens around a graph in synchronous rounds; the
+rotor-router splits a node's tokens round-robin over its ports (the
+engine's native multi-agent rule), while the random-walk reference
+sends each token to an independently uniform neighbor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.engine import MultiAgentRotorRouter
+from repro.graphs.base import PortLabeledGraph
+from repro.util.rng import make_rng
+
+
+class RotorDiffusion:
+    """Deterministic token diffusion: a thin facade over the engine.
+
+    ``loads()`` exposes the per-node token counts the load-balancing
+    literature reasons about.
+    """
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        tokens: Iterable[int],
+        ports: Sequence[int] | None = None,
+    ) -> None:
+        if ports is None:
+            ports = [0] * graph.num_nodes
+        self.engine = MultiAgentRotorRouter(graph, ports, tokens)
+        self.graph = graph
+
+    @property
+    def round(self) -> int:
+        return self.engine.round
+
+    @property
+    def num_tokens(self) -> int:
+        return self.engine.num_agents
+
+    def step(self) -> None:
+        self.engine.step()
+
+    def run(self, rounds: int) -> None:
+        self.engine.run(rounds)
+
+    def loads(self) -> np.ndarray:
+        """Current token count per node (copy)."""
+        return self.engine.counts.copy()
+
+
+def random_walk_diffusion(
+    graph: PortLabeledGraph,
+    tokens: Iterable[int],
+    rounds: int,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Token counts after ``rounds`` of independent random-walk moves.
+
+    Vectorized over tokens via per-node multinomial splitting: all
+    tokens at a node scatter independently and uniformly over its
+    neighbors each round.  Returns the final per-node counts.
+    """
+    rng = make_rng(seed)
+    n = graph.num_nodes
+    loads = np.zeros(n, dtype=np.int64)
+    for t in tokens:
+        if not 0 <= int(t) < n:
+            raise ValueError(f"token position {t} out of range")
+        loads[int(t)] += 1
+    if loads.sum() == 0:
+        raise ValueError("at least one token is required")
+    if rounds < 0:
+        raise ValueError(f"rounds must be non-negative, got {rounds}")
+    for _ in range(rounds):
+        new_loads = np.zeros(n, dtype=np.int64)
+        for v in np.flatnonzero(loads):
+            v = int(v)
+            neighbors = graph.neighbors(v)
+            degree = len(neighbors)
+            split = rng.multinomial(int(loads[v]), [1.0 / degree] * degree)
+            for neighbor, amount in zip(neighbors, split):
+                if amount:
+                    new_loads[neighbor] += int(amount)
+        loads = new_loads
+    return loads

@@ -1,0 +1,60 @@
+"""Discrepancy measurements for token diffusion.
+
+The single-vertex discrepancy of a load vector is the worst deviation
+of any node's token count from the fair share ``k/n``.  The
+Cooper–Spencer phenomenon: under the rotor-router on grid-like graphs
+the discrepancy stays bounded by a small constant *for all time*,
+whereas random-walk diffusion fluctuates like sqrt of the loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loadbalance.diffusion import RotorDiffusion
+
+
+def uniform_discrepancy(loads: np.ndarray) -> float:
+    """Max |load_v − mean load| over nodes."""
+    loads = np.asarray(loads, dtype=float)
+    if loads.size == 0:
+        raise ValueError("empty load vector")
+    return float(np.abs(loads - loads.mean()).max())
+
+
+@dataclass(frozen=True)
+class DiscrepancyTrace:
+    """Discrepancy of a rotor diffusion sampled over time."""
+
+    rounds: tuple[int, ...]
+    discrepancies: tuple[float, ...]
+
+    @property
+    def peak(self) -> float:
+        return max(self.discrepancies)
+
+    @property
+    def final(self) -> float:
+        return self.discrepancies[-1]
+
+
+def discrepancy_trace(
+    diffusion: RotorDiffusion,
+    total_rounds: int,
+    sample_every: int = 1,
+) -> DiscrepancyTrace:
+    """Run ``diffusion`` and record its discrepancy at sampled rounds."""
+    if total_rounds < 1 or sample_every < 1:
+        raise ValueError("total_rounds and sample_every must be positive")
+    rounds: list[int] = []
+    values: list[float] = []
+    for _ in range(total_rounds):
+        diffusion.step()
+        if diffusion.round % sample_every == 0:
+            rounds.append(diffusion.round)
+            values.append(uniform_discrepancy(diffusion.loads()))
+    if not rounds:
+        raise ValueError("no samples were taken; lower sample_every")
+    return DiscrepancyTrace(rounds=tuple(rounds), discrepancies=tuple(values))

@@ -1,0 +1,39 @@
+"""Parallel independent random walks — the paper's comparison baseline.
+
+k agents performing independent, uncoordinated simple random walks in
+synchronous rounds (the "parallel random walk" of Alon et al. [4] and
+the worst-case initialization setting of the paper's §3.3).  Provides:
+
+* :mod:`repro.randomwalk.walker` — general-graph walkers;
+* :mod:`repro.randomwalk.ring_walk` — numpy-vectorized ring walkers
+  with block-wise exact cover-time extraction;
+* :mod:`repro.randomwalk.analytic` — closed forms on rings and paths
+  (gambler's ruin, hitting times d(n-d), single-walk cover n(n-1)/2);
+* :mod:`repro.randomwalk.cover` — repetition harness with confidence
+  intervals;
+* :mod:`repro.randomwalk.visits` — visit-gap statistics for the return
+  time comparison (expected gap n/k on the ring).
+"""
+
+from repro.randomwalk.analytic import (
+    gambler_ruin_probability,
+    max_hitting_time_ring,
+    ring_commute_time,
+    ring_cover_time_single,
+    ring_hitting_time,
+)
+from repro.randomwalk.cover import CoverEstimate, estimate_cover_time
+from repro.randomwalk.ring_walk import RingRandomWalks
+from repro.randomwalk.walker import ParallelRandomWalks
+
+__all__ = [
+    "ParallelRandomWalks",
+    "RingRandomWalks",
+    "CoverEstimate",
+    "estimate_cover_time",
+    "ring_hitting_time",
+    "ring_commute_time",
+    "ring_cover_time_single",
+    "max_hitting_time_ring",
+    "gambler_ruin_probability",
+]

@@ -1,0 +1,130 @@
+"""Closed-form random-walk quantities on rings and paths.
+
+These formulas calibrate the simulators (tests compare measured
+expectations against them) and provide the predicted columns of the
+Table 1 reproduction:
+
+* hitting time on the n-ring between nodes at distance d: ``d (n - d)``;
+* maximum hitting time on the ring: ``floor(n/2) ceil(n/2) ~ n^2/4``;
+* cover time of a single walk on the ring: ``n (n - 1) / 2``
+  (a classical result; see Lovász's survey);
+* gambler's ruin: a +/-1 walk starting at position a in ``(0, b)``
+  reaches b before 0 with probability ``a / b`` — the tool used in the
+  paper's Lemma 17;
+* expected return gap on the ring with k independent walkers: since
+  each walk's stationary distribution is uniform, a fixed node is
+  visited on average once every ``n / k`` rounds (paper §4).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def ring_hitting_time(n: int, distance: int) -> float:
+    """Expected rounds for one walk to hit a node at ``distance``.
+
+    On the n-cycle, ``E[T_hit] = d * (n - d)`` for distance ``d``
+    (classical; equivalent to gambler's ruin duration on a cycle).
+    """
+    _check_ring(n)
+    d = distance % n
+    return float(d * (n - d))
+
+
+def max_hitting_time_ring(n: int) -> float:
+    """Maximum hitting time on the n-ring: ``floor(n/2) * ceil(n/2)``."""
+    _check_ring(n)
+    return float((n // 2) * ((n + 1) // 2))
+
+
+def ring_commute_time(n: int, distance: int) -> float:
+    """Expected round-trip time between nodes at ``distance`` on the ring.
+
+    By symmetry this is twice the hitting time.
+    """
+    return 2.0 * ring_hitting_time(n, distance)
+
+
+def ring_cover_time_single(n: int) -> float:
+    """Expected cover time of one random walk on the n-ring: n(n-1)/2."""
+    _check_ring(n)
+    return n * (n - 1) / 2.0
+
+
+def path_hitting_time_to_end(length: int, start: int) -> float:
+    """Expected time for a +/-1 walk reflected at 0 to reach ``length``.
+
+    On the path ``0..length`` with a reflecting barrier at 0, starting
+    from ``start``: ``E[T] = length^2 - start^2``.
+    """
+    if length < 1:
+        raise ValueError(f"length must be positive, got {length}")
+    if not 0 <= start <= length:
+        raise ValueError(f"start {start} outside [0, {length}]")
+    return float(length * length - start * start)
+
+
+def gambler_ruin_probability(a: int, b: int) -> float:
+    """P(+/-1 walk from ``a`` reaches ``b`` before 0) = a / b."""
+    if b <= 0:
+        raise ValueError(f"b must be positive, got {b}")
+    if not 0 <= a <= b:
+        raise ValueError(f"a={a} outside [0, {b}]")
+    return a / b
+
+
+def gambler_ruin_duration(a: int, b: int) -> float:
+    """Expected absorption time of a +/-1 walk from ``a`` in [0, b]:
+    ``a * (b - a)``."""
+    if b <= 0:
+        raise ValueError(f"b must be positive, got {b}")
+    if not 0 <= a <= b:
+        raise ValueError(f"a={a} outside [0, {b}]")
+    return float(a * (b - a))
+
+
+def expected_return_gap(n: int, k: int) -> float:
+    """Expected rounds between visits to a fixed ring node by k walks."""
+    _check_ring(n)
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    return n / k
+
+
+def harmonic_number(k: int) -> float:
+    """H_k = 1 + 1/2 + ... + 1/k (H_0 = 0)."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return sum(1.0 / i for i in range(1, k + 1))
+
+
+def cover_time_worst_k_walks(n: int, k: int) -> float:
+    """Paper-shape prediction Θ(n²/log k) for worst-case placement.
+
+    Normalization only — the asymptotic constant is not specified by
+    the theory, so experiments compare *ratios* across k, not absolute
+    values.  ``log`` is natural; for k = 1 the single-walk exact value
+    is returned.
+    """
+    _check_ring(n)
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    if k == 1:
+        return ring_cover_time_single(n)
+    return n * n / math.log(k)
+
+
+def cover_time_best_k_walks(n: int, k: int) -> float:
+    """Paper-shape prediction Θ((n/k)² log² k) for equal spacing (Thm 5)."""
+    _check_ring(n)
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    if k == 1:
+        return ring_cover_time_single(n)
+    return (n / k) ** 2 * math.log(k) ** 2
+
+
+def _check_ring(n: int) -> None:
+    if n < 3:
+        raise ValueError(f"ring requires n >= 3, got {n}")

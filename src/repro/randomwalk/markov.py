@@ -1,0 +1,136 @@
+"""Exact Markov-chain computations for simple random walks.
+
+The simulators in this package are stochastic; this module computes
+their expectations *exactly* by solving the linear systems of the
+walk's Markov chain, giving the test suite non-statistical oracles and
+the experiments exact baselines on arbitrary graphs:
+
+* ``hitting_times(graph, target)`` — E[rounds to reach target] from
+  every node, via the standard first-step equations
+  ``h(v) = 1 + (1/deg v) * sum_u h(u)`` with ``h(target) = 0``;
+* ``stationary_distribution(graph)`` — ``deg(v) / 2|E|``;
+* ``expected_return_time(graph, v)`` — ``2|E| / deg(v)``
+  (Kac's formula);
+* ``cover_time_expectation_single(graph, start)`` — exact expected
+  cover time by dynamic programming over visited-set states (feasible
+  for small graphs; used as a test oracle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import PortLabeledGraph
+
+
+def transition_matrix(graph: PortLabeledGraph) -> np.ndarray:
+    """Row-stochastic transition matrix of the simple random walk."""
+    n = graph.num_nodes
+    matrix = np.zeros((n, n), dtype=float)
+    for v in range(n):
+        degree = graph.degree(v)
+        if degree == 0:
+            raise ValueError(f"node {v} is isolated")
+        for u in graph.neighbors(v):
+            matrix[v, u] = 1.0 / degree
+    return matrix
+
+
+def hitting_times(graph: PortLabeledGraph, target: int) -> np.ndarray:
+    """Exact expected hitting times to ``target`` from every node."""
+    n = graph.num_nodes
+    if not 0 <= target < n:
+        raise ValueError(f"target {target} out of range")
+    if not graph.is_connected():
+        raise ValueError("graph must be connected")
+    p = transition_matrix(graph)
+    # Remove the target row/column: (I - Q) h = 1.
+    keep = [v for v in range(n) if v != target]
+    q = p[np.ix_(keep, keep)]
+    rhs = np.ones(len(keep))
+    h_rest = np.linalg.solve(np.eye(len(keep)) - q, rhs)
+    result = np.zeros(n)
+    for index, v in enumerate(keep):
+        result[v] = h_rest[index]
+    return result
+
+
+def max_hitting_time(graph: PortLabeledGraph) -> float:
+    """max over (u, v) of the exact expected hitting time."""
+    return max(
+        float(hitting_times(graph, target).max())
+        for target in range(graph.num_nodes)
+    )
+
+
+def stationary_distribution(graph: PortLabeledGraph) -> np.ndarray:
+    """pi(v) = deg(v) / 2|E| for the simple random walk."""
+    degrees = np.array(
+        [graph.degree(v) for v in range(graph.num_nodes)], dtype=float
+    )
+    return degrees / degrees.sum()
+
+
+def expected_return_time(graph: PortLabeledGraph, v: int) -> float:
+    """Kac's formula: E[return to v] = 1/pi(v) = 2|E| / deg(v)."""
+    if not 0 <= v < graph.num_nodes:
+        raise ValueError(f"node {v} out of range")
+    return 2.0 * graph.num_edges / graph.degree(v)
+
+
+def cover_time_expectation_single(
+    graph: PortLabeledGraph, start: int, max_nodes: int = 12
+) -> float:
+    """Exact E[cover time] of one walk, by visited-set DP.
+
+    States are (current node, visited set).  Within a fixed visited
+    set S the walk may wander among S's nodes indefinitely, so the
+    expectations for S form a *linear system*: for v in S,
+
+        E[v, S] = 1 + (1/deg v) * ( sum_{u in S}  E[u, S]
+                                  + sum_{u not in S} E[u, S+u] ),
+
+    where the second sum is known once all supersets of S are solved.
+    Processing sets in decreasing popcount order therefore needs one
+    |S| x |S| solve per set — exponential in n overall, so the size is
+    capped; this is a test oracle, not a production path.
+    """
+    n = graph.num_nodes
+    if n > max_nodes:
+        raise ValueError(
+            f"exact cover expectation is exponential; n={n} exceeds "
+            f"the {max_nodes}-node limit"
+        )
+    if not 0 <= start < n:
+        raise ValueError(f"start {start} out of range")
+    if not graph.is_connected():
+        raise ValueError("graph must be connected")
+    full = (1 << n) - 1
+    start_bit = 1 << start
+    expectations: dict[int, np.ndarray] = {full: np.zeros(n)}
+
+    subsets = [
+        s for s in range(full + 1) if (s & start_bit) and s != full
+    ]
+    subsets.sort(key=lambda s: bin(s).count("1"), reverse=True)
+    for visited in subsets:
+        members = [v for v in range(n) if visited & (1 << v)]
+        index_of = {v: i for i, v in enumerate(members)}
+        size = len(members)
+        coefficients = np.eye(size)
+        rhs = np.ones(size)
+        for v in members:
+            i = index_of[v]
+            degree = graph.degree(v)
+            for u in graph.neighbors(v):
+                if visited & (1 << u):
+                    coefficients[i, index_of[u]] -= 1.0 / degree
+                else:
+                    superset = visited | (1 << u)
+                    rhs[i] += expectations[superset][u] / degree
+        solution = np.linalg.solve(coefficients, rhs)
+        row = np.zeros(n)
+        for v in members:
+            row[v] = solution[index_of[v]]
+        expectations[visited] = row
+    return float(expectations[start_bit][start])

@@ -1,0 +1,75 @@
+"""Visit-gap statistics for the return-time comparison (paper §4).
+
+The paper contrasts the rotor-router's *deterministic* guarantee —
+after stabilization every node is visited every Θ(n/k) rounds — with
+the k-random-walk behaviour: the expected gap is n/k, but the gap
+random variable has high variance and unbounded support.  This module
+measures both sides of that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.randomwalk.ring_walk import RingRandomWalks
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class GapStatistics:
+    """Statistics of the gaps between successive visits to one node."""
+
+    count: int
+    mean: float
+    std: float
+    maximum: float
+    p99: float
+
+    @classmethod
+    def from_visit_rounds(cls, rounds: np.ndarray) -> "GapStatistics":
+        if rounds.size < 2:
+            raise ValueError(
+                "need at least two visits to compute gap statistics"
+            )
+        gaps = np.diff(np.sort(rounds)).astype(float)
+        return cls(
+            count=int(gaps.size),
+            mean=float(gaps.mean()),
+            std=float(gaps.std(ddof=1)) if gaps.size > 1 else 0.0,
+            maximum=float(gaps.max()),
+            p99=float(np.quantile(gaps, 0.99)),
+        )
+
+
+def ring_walk_gap_statistics(
+    n: int,
+    k: int,
+    node: int,
+    observation_rounds: int,
+    burn_in: int = 0,
+    seed: int = 0,
+) -> GapStatistics:
+    """Gap statistics of visits by k ring walkers to ``node``.
+
+    Walkers start equally spaced (the stationary-friendly placement);
+    ``burn_in`` rounds are discarded before observation.  The expected
+    gap is n/k; the paper's point is that the *maximum* gap keeps
+    growing with the observation window, unlike the rotor-router's hard
+    Θ(n/k) ceiling.
+    """
+    from repro.core.placement import equally_spaced
+
+    walks = RingRandomWalks(
+        n, equally_spaced(n, k), seed=derive_seed(seed, "gaps", n, k, node)
+    )
+    if burn_in:
+        walks.run(burn_in)
+    rounds = walks.visit_rounds_of(node, observation_rounds)
+    if rounds.size < 2:
+        raise RuntimeError(
+            f"node {node} was visited {rounds.size} times in "
+            f"{observation_rounds} rounds; increase the window"
+        )
+    return GapStatistics.from_visit_rounds(rounds)

@@ -1,0 +1,96 @@
+"""k independent random walks on a general port-labeled graph.
+
+Each walker moves to a uniformly random neighbor every round,
+independently of the others (no interaction whatsoever — contrast with
+the rotor-router, where agents interact through the shared pointers).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.graphs.base import PortLabeledGraph
+from repro.util.rng import make_rng
+
+
+class ParallelRandomWalks:
+    """Synchronous parallel random walks with cover-time tracking.
+
+    Parameters
+    ----------
+    graph:
+        Substrate graph (port order is irrelevant for random walks).
+    positions:
+        Starting nodes of the k walkers (with multiplicity).
+    seed:
+        Seed or generator for the walk randomness.
+    """
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        positions: Iterable[int],
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.graph = graph
+        self.rng = make_rng(seed)
+        self.positions = [int(v) for v in positions]
+        if not self.positions:
+            raise ValueError("at least one walker is required")
+        n = graph.num_nodes
+        for v in self.positions:
+            if not 0 <= v < n:
+                raise ValueError(f"walker position {v} out of range")
+        self.num_walkers = len(self.positions)
+        self.round = 0
+        self.visited = bytearray(n)
+        for v in self.positions:
+            self.visited[v] = 1
+        self.unvisited = n - sum(self.visited)
+        self.cover_round: int | None = 0 if self.unvisited == 0 else None
+        self.visit_counts = np.zeros(n, dtype=np.int64)
+        for v in self.positions:
+            self.visit_counts[v] += 1
+
+    def step(self) -> None:
+        """Move every walker to a uniform random neighbor."""
+        graph = self.graph
+        rng = self.rng
+        new_positions = []
+        for v in self.positions:
+            neighbors = graph.neighbors(v)
+            dst = neighbors[int(rng.integers(0, len(neighbors)))]
+            new_positions.append(dst)
+            self.visit_counts[dst] += 1
+            if not self.visited[dst]:
+                self.visited[dst] = 1
+                self.unvisited -= 1
+        self.positions = new_positions
+        self.round += 1
+        if self.unvisited == 0 and self.cover_round is None:
+            self.cover_round = self.round
+
+    def run(self, rounds: int) -> None:
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        for _ in range(rounds):
+            self.step()
+
+    def run_until_covered(self, max_rounds: int | None = None) -> int:
+        """Run until every node has been visited; return the cover time."""
+        while self.cover_round is None:
+            if max_rounds is not None and self.round >= max_rounds:
+                raise RuntimeError(
+                    f"not covered within {max_rounds} rounds "
+                    f"({self.unvisited} nodes unvisited)"
+                )
+            self.step()
+        return self.cover_round
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParallelRandomWalks(n={self.graph.num_nodes}, "
+            f"k={self.num_walkers}, round={self.round})"
+        )

@@ -1,0 +1,95 @@
+"""The paper's asymptotic shapes as explicit normalization formulas.
+
+Θ-bounds carry no constants, so experiments never compare absolute
+values against these functions; they divide measured quantities by them
+and check the resulting column is flat across k (and across n).  The
+k = 1 cases fall back to the exact/known single-agent values so that
+speed-up tables have a meaningful baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def harmonic_number(k: int) -> float:
+    """H_k = 1 + 1/2 + ... + 1/k (H_0 = 0)."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return sum(1.0 / i for i in range(1, k + 1))
+
+
+def _check(n: int, k: int) -> None:
+    if n < 3:
+        raise ValueError(f"ring requires n >= 3, got {n}")
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+
+
+def rotor_cover_worst(n: int, k: int) -> float:
+    """Θ(n²/log k) — k-agent rotor-router, worst placement (Thms 1-2)."""
+    _check(n, k)
+    if k == 1:
+        return float(n * n)
+    return n * n / math.log(k)
+
+
+def rotor_cover_best(n: int, k: int) -> float:
+    """Θ(n²/k²) — k-agent rotor-router, best placement (Thms 3-4)."""
+    _check(n, k)
+    return (n / k) ** 2
+
+
+def rotor_return_time(n: int, k: int) -> float:
+    """Θ(n/k) — k-agent rotor-router return time (Thm 6)."""
+    _check(n, k)
+    return n / k
+
+
+def walk_cover_worst(n: int, k: int) -> float:
+    """Θ(n²/log k) — k random walks, worst placement (Alon et al. [4])."""
+    _check(n, k)
+    if k == 1:
+        return n * (n - 1) / 2.0
+    return n * n / math.log(k)
+
+
+def walk_cover_best(n: int, k: int) -> float:
+    """Θ((n/k)² log² k) — k random walks, equal spacing (Thm 5)."""
+    _check(n, k)
+    if k == 1:
+        return n * (n - 1) / 2.0
+    return (n / k) ** 2 * math.log(k) ** 2
+
+
+def rotor_speedup_worst(k: int) -> float:
+    """Worst-placement speed-up over one agent: Θ(log k)."""
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    return max(1.0, math.log(k))
+
+
+def rotor_speedup_best(k: int) -> float:
+    """Best-placement speed-up over one agent: Θ(k²)."""
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    return float(k * k)
+
+
+def walk_speedup_best(k: int) -> float:
+    """Best-placement random-walk speed-up: Θ(k²/log²k)."""
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    if k == 1:
+        return 1.0
+    return k * k / math.log(k) ** 2
+
+
+def paper_regime_max_k(n: int) -> int:
+    """Largest k with k < n^(1/11) (the paper's analysis regime)."""
+    if n < 3:
+        raise ValueError(f"ring requires n >= 3, got {n}")
+    k = int(round(n ** (1.0 / 11.0)))
+    while k ** 11 >= n:
+        k -= 1
+    return max(k, 1)

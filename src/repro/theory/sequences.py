@@ -1,0 +1,131 @@
+"""The Lemma 13 profile sequence — the shape of domains in the worst case.
+
+Lemma 13 constructs, for every k > 3, a normalized sequence
+``a_0 = +inf, a_1 > a_2 > ... > a_k = a_{k+1}`` with ``sum a_i = 1``
+describing the *relative* sizes of agent domains in the all-on-one-node
+worst case: the i-th agent from the frontier keeps a domain of size
+proportional to ``a_i ~ 1/(i H_k)``.  The construction goes through the
+auxiliary recurrence
+
+    b_0 = 0,  b_1 = c,  b_{i+1} = 2 b_i - b_{i-1} - 1/b_i,
+
+choosing the unique ``c`` with ``b_{k+1} = b_k`` and setting
+``a_i = 1/(c b_i)``.  We solve for ``c`` by bisection (the proof shows
+``d_{k+1}(c) = b_{k+1} - b_k`` is continuous and crosses zero), then
+expose all six properties of the lemma for verification:
+
+(1) ``a_0 = +inf``;
+(2) ``a_{k+1} = a_k < a_{k-1} < ... < a_1``;
+(3) ``sum_{i=1..k} a_i = 1``;
+(4) ``a_i / a_1 = 2/a_i - 1/a_{i-1} - 1/a_{i+1}`` (with ``1/a_0 = 0``);
+(5) ``1/(4 (H_k + 1)) <= a_1 <= 1/H_k``;
+(6) ``a_i >= 1/(4 i (H_k + 1))``.
+
+The sequence also powers the Theorem 1 delayed deployment: agent i is
+parked at position ``p_i S`` where ``p_i = sum_{j>=i} a_j``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.theory.bounds import harmonic_number
+
+
+def _b_sequence(c: float, k: int) -> list[float] | None:
+    """The {b_i} recurrence up to index k+1, or None if it degenerates.
+
+    Degeneration (some ``b_i <= 0`` before the end) means ``c`` is too
+    small; the bisection treats it as a negative sign.
+    """
+    b = [0.0, c]
+    for _ in range(1, k + 1):
+        nxt = 2.0 * b[-1] - b[-2] - 1.0 / b[-1]
+        if nxt <= 0.0 or not math.isfinite(nxt):
+            return None
+        b.append(nxt)
+    return b
+
+
+def _final_difference(c: float, k: int) -> float:
+    """d_{k+1}(c) = b_{k+1} - b_k, with -inf for degenerate sequences."""
+    b = _b_sequence(c, k)
+    if b is None:
+        return -math.inf
+    return b[k + 1] - b[k]
+
+
+@dataclass(frozen=True)
+class ProfileSequence:
+    """The solved Lemma 13 sequence for a given k.
+
+    ``a[i]`` is ``a_i`` for ``1 <= i <= k`` (index 0 stores ``inf`` so
+    the paper's indexing carries over); ``p[i] = sum_{j=i..k} a_j`` are
+    the Theorem 1 position fractions (``p[1] = 1``).
+    """
+
+    k: int
+    c: float
+    b: tuple[float, ...]
+    a: tuple[float, ...]
+
+    @property
+    def p(self) -> tuple[float, ...]:
+        """Position fractions p_i = a_i + ... + a_k; p[0] unused (inf)."""
+        suffix = [0.0] * (self.k + 2)
+        for i in range(self.k, 0, -1):
+            suffix[i] = suffix[i + 1] + self.a[i]
+        suffix[0] = math.inf
+        return tuple(suffix[: self.k + 1])
+
+    def residual(self, i: int) -> float:
+        """Deviation from property (4) at index i (should be ~0)."""
+        if not 1 <= i <= self.k:
+            raise ValueError(f"index {i} outside [1, {self.k}]")
+        a = self.a
+        left = a[i] / a[1]
+        prev = 0.0 if i == 1 else 1.0 / a[i - 1]
+        nxt = 1.0 / (a[i] if i == self.k else a[i + 1])
+        return left - (2.0 / a[i] - prev - nxt)
+
+
+@lru_cache(maxsize=None)
+def solve_profile(k: int, tolerance: float = 1e-13) -> ProfileSequence:
+    """Solve Lemma 13 for ``k`` agents (requires ``k > 3``).
+
+    Brackets the root of ``d_{k+1}(c)`` and bisects to ``tolerance``
+    (relative).  The proof gives ``H_k <= c² <= 4(H_k + 1)``, which we
+    use as the initial bracket (widened defensively).
+    """
+    if k <= 3:
+        raise ValueError(f"Lemma 13 requires k > 3, got {k}")
+    h_k = harmonic_number(k)
+    low = 0.5 * math.sqrt(h_k)
+    high = 2.5 * math.sqrt(h_k + 1.0)
+    # d_{k+1} is negative for too-small c and positive for large c.
+    for _ in range(200):
+        if _final_difference(low, k) < 0.0:
+            break
+        low *= 0.5
+    else:  # pragma: no cover - defensive
+        raise RuntimeError("failed to bracket the Lemma 13 root from below")
+    for _ in range(200):
+        if _final_difference(high, k) > 0.0:
+            break
+        high *= 2.0
+    else:  # pragma: no cover - defensive
+        raise RuntimeError("failed to bracket the Lemma 13 root from above")
+    while (high - low) > tolerance * high:
+        mid = 0.5 * (low + high)
+        if _final_difference(mid, k) < 0.0:
+            low = mid
+        else:
+            high = mid
+    c = 0.5 * (low + high)
+    b = _b_sequence(c, k)
+    if b is None:  # pragma: no cover - defensive
+        raise RuntimeError("converged c yields a degenerate sequence")
+    a = [math.inf] + [1.0 / (c * b[i]) for i in range(1, k + 1)]
+    return ProfileSequence(k=k, c=c, b=tuple(b), a=tuple(a))

@@ -1,0 +1,181 @@
+"""The one-player token game from the appendix proof of Lemma 8.
+
+k stacks start with η tokens each.  A move takes one token from stack
+``src`` to stack ``dst`` and is **legal** iff, before the move, the
+destination holds at most 8 tokens more than the source
+(``h_dst <= h_src + 8``).  The proof establishes two facts that we make
+executable and stress in tests/benchmarks:
+
+* **partial-sum invariant**: after any number of legal moves, the sum
+  of the i largest stacks is at most ``η·i + 5·k·i − 5·i²``;
+* **claim**: every stack always holds at least ``η − 5k + 5`` tokens.
+
+The game models lazy-domain sizes: a domain can only "steal" a node
+from a neighbor that is not much smaller (Lemma 8 condition), hence no
+domain can ever be bled dry — the heart of the domain-stability
+argument.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+LEGAL_MARGIN = 8
+"""A move is legal iff the destination exceeds the source by at most this."""
+
+
+class IllegalMoveError(ValueError):
+    """Raised when a requested token move violates the legality rule."""
+
+
+class TokenGame:
+    """Mutable state of the one-player token game."""
+
+    def __init__(self, num_stacks: int, initial_height: int) -> None:
+        if num_stacks < 2:
+            raise ValueError(f"need at least 2 stacks, got {num_stacks}")
+        if initial_height < 0:
+            raise ValueError(
+                f"initial height must be non-negative, got {initial_height}"
+            )
+        self.num_stacks = num_stacks
+        self.initial_height = initial_height
+        self.heights = [initial_height] * num_stacks
+        self.moves_played = 0
+
+    # ------------------------------------------------------------------
+    # moves
+    # ------------------------------------------------------------------
+    def is_legal(self, src: int, dst: int) -> bool:
+        """Legality: src nonempty, src != dst, h_dst <= h_src + 8."""
+        if src == dst:
+            return False
+        if not (0 <= src < self.num_stacks and 0 <= dst < self.num_stacks):
+            return False
+        if self.heights[src] <= 0:
+            return False
+        return self.heights[dst] <= self.heights[src] + LEGAL_MARGIN
+
+    def move(self, src: int, dst: int) -> None:
+        """Apply a legal move; raise :class:`IllegalMoveError` otherwise."""
+        if not self.is_legal(src, dst):
+            raise IllegalMoveError(
+                f"move {src}->{dst} illegal: heights "
+                f"{self.heights[src] if 0 <= src < self.num_stacks else '?'} -> "
+                f"{self.heights[dst] if 0 <= dst < self.num_stacks else '?'}"
+            )
+        self.heights[src] -= 1
+        self.heights[dst] += 1
+        self.moves_played += 1
+
+    def legal_moves(self) -> list[tuple[int, int]]:
+        """All currently legal (src, dst) pairs."""
+        return [
+            (src, dst)
+            for src in range(self.num_stacks)
+            for dst in range(self.num_stacks)
+            if self.is_legal(src, dst)
+        ]
+
+    # ------------------------------------------------------------------
+    # invariants (the appendix claim and its proof invariant)
+    # ------------------------------------------------------------------
+    def min_height(self) -> int:
+        return min(self.heights)
+
+    def sum_of_largest(self, i: int) -> int:
+        """y_i: the sum of the i largest stack heights."""
+        if not 1 <= i <= self.num_stacks:
+            raise ValueError(f"i must be in [1, {self.num_stacks}]")
+        return sum(sorted(self.heights, reverse=True)[:i])
+
+    def claim_lower_bound(self) -> int:
+        """The appendix claim: every stack holds >= η − 5k + 5 tokens."""
+        return self.initial_height - 5 * self.num_stacks + 5
+
+    def claim_holds(self) -> bool:
+        return self.min_height() >= self.claim_lower_bound()
+
+    def partial_sum_bound(self, i: int) -> int:
+        """Proof invariant bound: y_i <= η·i + 5·k·i − 5·i²."""
+        if not 1 <= i <= self.num_stacks:
+            raise ValueError(f"i must be in [1, {self.num_stacks}]")
+        eta, k = self.initial_height, self.num_stacks
+        return eta * i + 5 * k * i - 5 * i * i
+
+    def partial_sums_hold(self) -> bool:
+        return all(
+            self.sum_of_largest(i) <= self.partial_sum_bound(i)
+            for i in range(1, self.num_stacks + 1)
+        )
+
+
+# ----------------------------------------------------------------------
+# adversaries
+# ----------------------------------------------------------------------
+def play_random_adversary(
+    game: TokenGame,
+    moves: int,
+    seed: int | np.random.Generator | None = 0,
+) -> int:
+    """Play ``moves`` uniformly random legal moves; returns moves made.
+
+    Stops early if no legal move exists (cannot happen for k >= 2 with
+    positive heights, but guarded anyway).
+    """
+    rng = make_rng(seed)
+    played = 0
+    for _ in range(moves):
+        options = game.legal_moves()
+        if not options:
+            break
+        src, dst = options[int(rng.integers(0, len(options)))]
+        game.move(src, dst)
+        played += 1
+    return played
+
+
+def play_draining_adversary(game: TokenGame, moves: int) -> int:
+    """Greedy adversary attacking the claim: always drain the smallest
+    stack into the tallest stack it is still allowed to feed.
+
+    This is the worst natural strategy against the minimum-height
+    claim; benchmarks show the claim's bound η − 5k + 5 is respected
+    (and reasonably tight in its 5k shape).
+    """
+    played = 0
+    for _ in range(moves):
+        order = sorted(range(game.num_stacks), key=lambda s: game.heights[s])
+        src = order[0]
+        candidates = [
+            dst
+            for dst in range(game.num_stacks)
+            if dst != src and game.is_legal(src, dst)
+        ]
+        if not candidates:
+            break
+        dst = max(candidates, key=lambda d: game.heights[d])
+        game.move(src, dst)
+        played += 1
+    return played
+
+
+def play_move_sequence(
+    game: TokenGame, sequence: Iterable[tuple[int, int]]
+) -> int:
+    """Play explicit (src, dst) moves, skipping illegal ones.
+
+    Returns the number of moves actually applied.  Used by
+    property-based tests: hypothesis generates arbitrary sequences and
+    the invariants must survive whichever subset was legal.
+    """
+    played = 0
+    for src, dst in sequence:
+        if game.is_legal(src, dst):
+            game.move(src, dst)
+            played += 1
+    return played

@@ -1,0 +1,31 @@
+"""Shared utilities: seeded RNG helpers, statistics, table rendering, timing.
+
+These helpers are deliberately small and dependency-light; every other
+subpackage of :mod:`repro` may import from here, but :mod:`repro.util`
+imports nothing from the rest of the package.
+"""
+
+from repro.util.rng import derive_seed, make_rng, spawn_rngs
+from repro.util.stats import (
+    Summary,
+    bootstrap_ci,
+    geometric_mean,
+    normal_ci,
+    summarize,
+)
+from repro.util.tables import Table, format_table
+from repro.util.timing import Stopwatch
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "spawn_rngs",
+    "Summary",
+    "bootstrap_ci",
+    "geometric_mean",
+    "normal_ci",
+    "summarize",
+    "Table",
+    "format_table",
+    "Stopwatch",
+]

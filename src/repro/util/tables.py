@@ -1,0 +1,93 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment prints its results in the same layout the paper uses
+(Table 1 style): a header row, aligned columns, and an optional caption.
+Keeping the renderer tiny and dependency-free means benchmark output is
+readable both in CI logs and in a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def _render_cell(value: object, spec: str | None) -> str:
+    if value is None:
+        return "-"
+    if spec and isinstance(value, (int, float)):
+        return format(value, spec)
+    return str(value)
+
+
+@dataclass
+class Table:
+    """An append-only table with aligned plain-text rendering."""
+
+    columns: Sequence[str]
+    caption: str = ""
+    formats: Sequence[str | None] | None = None
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row; must match the number of columns."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """Render the table with a caption, header and rule lines."""
+        return format_table(
+            self.columns, self.rows, caption=self.caption, formats=self.formats
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+    def column(self, name: str) -> list[object]:
+        """Extract one column by header name (for assertions in benches)."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError as exc:
+            raise KeyError(f"no column named {name!r}") from exc
+        return [row[index] for row in self.rows]
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    caption: str = "",
+    formats: Sequence[str | None] | None = None,
+) -> str:
+    """Format ``rows`` as an aligned plain-text table."""
+    columns = [str(c) for c in columns]
+    if formats is None:
+        formats = [None] * len(columns)
+    if len(formats) != len(columns):
+        raise ValueError("formats must match the number of columns")
+    rendered_rows = []
+    for row in rows:
+        row = list(row)
+        if len(row) != len(columns):
+            raise ValueError("row width does not match column count")
+        rendered_rows.append(
+            [_render_cell(cell, spec) for cell, spec in zip(row, formats)]
+        )
+    widths = [len(header) for header in columns]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts: list[str] = []
+    if caption:
+        parts.append(caption)
+    parts.append(line(columns))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)

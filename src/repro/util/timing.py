@@ -1,0 +1,44 @@
+"""A tiny stopwatch used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with context-manager support.
+
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     _ = sum(range(1000))
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MultiAgentRotorRouter
+from repro.core.ring import RingRotorRouter
+from repro.graphs.ring import ring_graph
+
+
+@pytest.fixture
+def small_ring_engine() -> RingRotorRouter:
+    """A 12-node ring with 2 agents and clockwise pointers."""
+    return RingRotorRouter(12, [1] * 12, [0, 6])
+
+
+@pytest.fixture
+def small_general_engine() -> MultiAgentRotorRouter:
+    """The general engine on the same 12-node configuration."""
+    return MultiAgentRotorRouter(ring_graph(12), [0] * 12, [0, 6])
+
+
+def random_ring_setup(
+    rng: np.random.Generator, max_n: int = 40, max_k: int = 6
+) -> tuple[int, list[int], list[int]]:
+    """Random (n, directions, agents) for equivalence/property tests."""
+    n = int(rng.integers(3, max_n + 1))
+    k = int(rng.integers(1, max_k + 1))
+    directions = [int(d) for d in rng.choice((1, -1), size=n)]
+    agents = [int(a) for a in rng.integers(0, n, size=k)]
+    return n, directions, agents

@@ -1,0 +1,78 @@
+"""Tests for power-law fits and flatness verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.scaling import (
+    fit_power_law,
+    flatness,
+    is_shape_match,
+    normalized,
+)
+
+
+class TestPowerLaw:
+    def test_exact_recovery(self):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0]
+        ys = [3.0 * x ** 2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.prefactor == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    @given(
+        st.floats(-2.0, 3.0),
+        st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_random_power_laws(self, exponent, prefactor):
+        xs = np.array([1.0, 2.0, 3.0, 5.0, 9.0, 17.0])
+        ys = prefactor * xs ** exponent
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-9)
+
+    def test_noise_tolerated(self):
+        rng = np.random.default_rng(0)
+        xs = np.logspace(0, 3, 30)
+        ys = 5.0 * xs ** 1.5 * np.exp(rng.normal(0, 0.05, 30))
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=0.1)
+        assert fit.r_squared > 0.98
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, -2.0], [1.0, 2.0])
+
+
+class TestNormalizedFlatness:
+    def test_normalized(self):
+        assert normalized([10.0, 20.0], [5.0, 10.0]) == [2.0, 2.0]
+
+    def test_normalized_validation(self):
+        with pytest.raises(ValueError):
+            normalized([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            normalized([1.0], [0.0])
+
+    def test_flatness_perfect(self):
+        assert flatness([3.0, 3.0]) == 1.0
+
+    def test_shape_match(self):
+        measured = [10.0, 40.0, 160.0]
+        predicted = [1.0, 4.0, 16.0]
+        assert is_shape_match(measured, predicted, tolerance=1.01)
+
+    def test_shape_mismatch(self):
+        measured = [10.0, 40.0, 160.0]
+        predicted = [1.0, 2.0, 3.0]
+        assert not is_shape_match(measured, predicted, tolerance=2.0)
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError):
+            is_shape_match([1.0], [1.0], tolerance=0.5)

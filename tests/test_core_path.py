@@ -1,0 +1,93 @@
+"""Tests for the path-specialized engine."""
+
+import pytest
+
+from repro.core.path import PathRotorRouter
+
+
+class TestConstruction:
+    def test_min_size(self):
+        with pytest.raises(ValueError):
+            PathRotorRouter(1, [1], [0])
+
+    def test_endpoint_pointers_forced(self):
+        e = PathRotorRouter(5, [-1] * 5, [0])
+        assert e.ptr[0] == 1
+        assert e.ptr[4] == -1
+
+    def test_pointer_validation(self):
+        with pytest.raises(ValueError):
+            PathRotorRouter(4, [1, 0, 1, 1], [0])
+
+
+class TestEndpointSemantics:
+    def test_left_endpoint_sends_right(self):
+        e = PathRotorRouter(4, [1] * 4, [0, 0, 0])
+        moves = e.step()
+        assert moves == [(0, 1, 3)]  # all three through the single port
+
+    def test_right_endpoint_sends_left(self):
+        e = PathRotorRouter(4, [1] * 4, [3, 3])
+        assert e.step() == [(3, 2, 2)]
+
+    def test_endpoint_pointer_never_flips(self):
+        e = PathRotorRouter(4, [1] * 4, [0])
+        e.step()
+        assert e.ptr[0] == 1
+
+
+class TestInteriorSemantics:
+    def test_matches_ring_rule(self):
+        e = PathRotorRouter(5, [1] * 5, [2, 2, 2])
+        moves = dict(((s, d), c) for s, d, c in e.step())
+        assert moves[(2, 3)] == 2
+        assert moves[(2, 1)] == 1
+        assert e.ptr[2] == -1  # odd exits flip
+
+    def test_bounce_walk_from_left(self):
+        # Single agent, all-left pointers: the canonical slow pattern.
+        e = PathRotorRouter(6, [-1] * 6, [0], track_counts=False)
+        visited_order = []
+        for _ in range(8):
+            moves = e.step()
+            visited_order.append(moves[0][1])
+        assert visited_order[:4] == [1, 0, 1, 2]
+
+
+class TestCoverAndState:
+    def test_cover_time_slow_case(self):
+        n = 24
+        e = PathRotorRouter(n, [-1] * n, [0], track_counts=False)
+        cover = e.run_until_covered(8 * n * n)
+        assert (n - 1) ** 2 / 2 <= cover <= 3 * n * n
+
+    def test_more_agents_at_least_as_fast(self):
+        n = 40
+        covers = []
+        for k in (1, 2, 4, 8):
+            e = PathRotorRouter(n, [-1] * n, [0] * k, track_counts=False)
+            covers.append(e.run_until_covered(8 * n * n))
+        for a, b in zip(covers, covers[1:]):
+            assert b <= a
+
+    def test_budget_raises(self):
+        e = PathRotorRouter(16, [-1] * 16, [0], track_counts=False)
+        with pytest.raises(RuntimeError):
+            e.run_until_covered(3)
+
+    def test_clone_trajectory(self):
+        e = PathRotorRouter(12, [-1] * 12, [0, 4])
+        e.run(5)
+        twin = e.clone()
+        for _ in range(10):
+            assert sorted(e.step()) == sorted(twin.step())
+
+    def test_holds(self):
+        e = PathRotorRouter(6, [1] * 6, [2, 2])
+        moves = e.step(holds={2: 2})
+        assert moves == []
+        assert e.positions() == [2, 2]
+
+    def test_positions(self):
+        e = PathRotorRouter(6, [1] * 6, [5, 0, 5])
+        assert e.positions() == [0, 5, 5]

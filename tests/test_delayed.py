@@ -1,0 +1,237 @@
+"""Executable versions of the paper's §2.1 lemmas (delayed deployments).
+
+Lemma 1 (monotonicity), Lemma 2 (sandwich) and Lemma 3 (slow-down) are
+the analytical backbone of every theorem in the paper; here they are
+verified as *runtime properties* of the engine on randomized instances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delayed import (
+    DelayedRunResult,
+    agent_count_at,
+    compose_phases,
+    delay_table_schedule,
+    hold_all_except_one_at,
+    hold_everything,
+    move_lone_agent,
+    occupied_nodes,
+    run_with_schedule,
+    walk_lone_agent,
+)
+from repro.core.engine import MultiAgentRotorRouter
+from repro.core.ring import RingRotorRouter
+from repro.graphs.ring import ring_graph
+from repro.util.rng import make_rng
+
+
+def _random_instance(seed, max_n=24, max_k=5):
+    rng = make_rng(seed)
+    n = int(rng.integers(4, max_n))
+    k = int(rng.integers(1, max_k + 1))
+    dirs = [int(d) for d in rng.choice((1, -1), size=n)]
+    agents = [int(a) for a in rng.integers(0, n, size=k)]
+    return n, dirs, agents, rng
+
+
+def _random_hold_plan(rng, engine_counts, aggressiveness):
+    holds = {}
+    for v, c in engine_counts.items():
+        if c > 0 and rng.random() < aggressiveness:
+            holds[v] = int(rng.integers(1, c + 1))
+    return holds
+
+
+class TestLemma1Monotonicity:
+    """More delaying never increases any visit counter n_v(t)."""
+
+    @given(st.integers(0, 2 ** 30))
+    @settings(max_examples=30, deadline=None)
+    def test_delayed_below_undelayed(self, seed):
+        n, dirs, agents, rng = _random_instance(seed)
+        delayed = RingRotorRouter(n, list(dirs), agents)
+        undelayed = RingRotorRouter(n, list(dirs), agents)
+        for _ in range(60):
+            holds = _random_hold_plan(rng, delayed.counts, 0.5)
+            delayed.step(holds)
+            undelayed.step()
+            assert np.all(delayed.visit_counts <= undelayed.visit_counts)
+
+    @given(st.integers(0, 2 ** 30))
+    @settings(max_examples=20, deadline=None)
+    def test_nested_delays_ordered(self, seed):
+        # D1 holds a superset of what D2 holds => n^D1 <= n^D2.
+        n, dirs, agents, rng = _random_instance(seed)
+        more = RingRotorRouter(n, list(dirs), agents)
+        less = RingRotorRouter(n, list(dirs), agents)
+        for _ in range(60):
+            base = _random_hold_plan(rng, less.counts, 0.4)
+            less.step(base)
+            # The heavier deployment holds `base` plus extra agents.
+            heavier = dict(base)
+            for v, c in more.counts.items():
+                if c > heavier.get(v, 0) and rng.random() < 0.3:
+                    heavier[v] = min(c, heavier.get(v, 0) + 1)
+            valid = {
+                v: min(h, agent_count_at(more, v))
+                for v, h in heavier.items()
+            }
+            more.step({v: h for v, h in valid.items() if h > 0})
+            assert np.all(more.visit_counts <= less.visit_counts)
+
+    def test_k_minus_one_below_k(self):
+        # The [27] corollary: removing an agent never speeds visits.
+        n = 20
+        dirs = [1 if v % 2 else -1 for v in range(n)]
+        bigger = RingRotorRouter(n, list(dirs), [0, 5, 10])
+        smaller = RingRotorRouter(n, list(dirs), [0, 5])
+        for _ in range(100):
+            bigger.step()
+            smaller.step()
+        # Compare visits excluding initial occupancy differences at 10.
+        for v in range(n):
+            if v == 10:
+                continue
+            assert smaller.visit_counts[v] <= bigger.visit_counts[v]
+
+
+class TestLemma2Sandwich:
+    @given(st.integers(0, 2 ** 30))
+    @settings(max_examples=20, deadline=None)
+    def test_visit_counts_sandwich(self, seed):
+        n, dirs, agents, rng = _random_instance(seed)
+        total_rounds = 80
+        delayed = RingRotorRouter(n, list(dirs), agents)
+        fully_active = 0
+        for _ in range(total_rounds):
+            holds = _random_hold_plan(rng, delayed.counts, 0.3)
+            delayed.step(holds if holds else None)
+            if not holds:
+                fully_active += 1
+        upper = RingRotorRouter(n, list(dirs), agents)
+        upper.run(total_rounds)
+        lower = RingRotorRouter(n, list(dirs), agents)
+        lower.run(fully_active)
+        assert np.all(delayed.visit_counts <= upper.visit_counts)
+        assert np.all(lower.visit_counts <= delayed.visit_counts)
+
+
+class TestLemma3SlowDown:
+    @given(st.integers(0, 2 ** 30))
+    @settings(max_examples=15, deadline=None)
+    def test_cover_time_sandwich(self, seed):
+        n, dirs, agents, rng = _random_instance(seed, max_n=16, max_k=3)
+
+        def schedule(engine):
+            return _random_hold_plan(rng, engine.counts, 0.25)
+
+        delayed = RingRotorRouter(n, list(dirs), agents)
+        result = run_with_schedule(delayed, schedule, max_rounds=20_000)
+        if result.cover_round is None:
+            pytest.skip("delayed run did not cover within budget")
+        tau, total = result.slow_down_bounds()
+        undelayed = RingRotorRouter(n, list(dirs), agents, track_counts=False)
+        cover = undelayed.run_until_covered(20_000)
+        assert tau <= cover <= total
+
+    def test_bounds_require_cover(self):
+        result = DelayedRunResult(
+            total_rounds=10, fully_active_rounds=5, cover_round=None
+        )
+        with pytest.raises(ValueError):
+            result.slow_down_bounds()
+
+
+class TestPrimitives:
+    def test_hold_everything(self):
+        e = RingRotorRouter(10, [1] * 10, [2, 2, 7])
+        assert hold_everything(e) == {2: 2, 7: 1}
+
+    def test_hold_everything_general_engine(self):
+        e = MultiAgentRotorRouter(ring_graph(10), [0] * 10, [2, 2, 7])
+        assert hold_everything(e) == {2: 2, 7: 1}
+
+    def test_occupied_nodes_both_engines(self):
+        ring = RingRotorRouter(10, [1] * 10, [4, 9])
+        general = MultiAgentRotorRouter(ring_graph(10), [0] * 10, [4, 9])
+        assert occupied_nodes(ring) == [4, 9]
+        assert occupied_nodes(general) == [4, 9]
+
+    def test_hold_all_except_one(self):
+        e = RingRotorRouter(10, [1] * 10, [2, 2, 7])
+        holds = hold_all_except_one_at(e, 2)
+        assert holds == {2: 1, 7: 1}
+        holds = hold_all_except_one_at(e, 7)
+        assert holds == {2: 2}
+
+    def test_hold_all_except_one_requires_agent(self):
+        e = RingRotorRouter(10, [1] * 10, [2])
+        with pytest.raises(ValueError):
+            hold_all_except_one_at(e, 5)
+
+    def test_move_lone_agent(self):
+        e = RingRotorRouter(10, [1] * 10, [0, 5])
+        new_pos = move_lone_agent(e, 0)
+        assert new_pos == 1
+        assert sorted(e.positions()) == [1, 5]  # the other agent froze
+
+    def test_walk_lone_agent_reaches_goal(self):
+        n = 16
+        e = RingRotorRouter(n, [1] * n, [0, 8])
+        final = walk_lone_agent(
+            e, 0, should_stop=lambda pos, _steps: pos == 4, max_rounds=100
+        )
+        assert final == 4
+
+    def test_walk_lone_agent_budget(self):
+        e = RingRotorRouter(8, [1] * 8, [0])
+        with pytest.raises(RuntimeError):
+            walk_lone_agent(
+                e, 0, should_stop=lambda *_: False, max_rounds=10
+            )
+
+
+class TestSchedules:
+    def test_delay_table(self):
+        e = RingRotorRouter(8, [1] * 8, [0, 0])
+        schedule = delay_table_schedule({0: {0: 2}, 1: {0: 1}})
+        result = run_with_schedule(
+            e, schedule, max_rounds=3, stop_when_covered=False
+        )
+        assert result.total_rounds == 3
+        assert result.fully_active_rounds == 1  # only round 2 was free
+
+    def test_run_with_schedule_counts_active_rounds(self):
+        e = RingRotorRouter(8, [1] * 8, [0])
+        result = run_with_schedule(e, None, max_rounds=5,
+                                   stop_when_covered=False)
+        assert result.total_rounds == 5
+        assert result.fully_active_rounds == 5
+
+    def test_stop_when_covered(self):
+        n = 8
+        e = RingRotorRouter(n, [1] * n, [0])
+        result = run_with_schedule(e, None, max_rounds=1000)
+        assert result.cover_round == n - 1
+        assert result.total_rounds == n - 1
+
+    def test_compose_phases(self):
+        e = RingRotorRouter(8, [1] * 8, [0, 0])
+        freeze = hold_everything
+
+        phase1_done = lambda engine: engine.round >= 2  # noqa: E731
+        schedule = compose_phases(
+            (freeze, phase1_done),
+            (None, lambda engine: False),
+        )
+        result = run_with_schedule(
+            e, schedule, max_rounds=6, stop_when_covered=False
+        )
+        assert result.fully_active_rounds == 4
+
+    def test_compose_requires_phases(self):
+        with pytest.raises(ValueError):
+            compose_phases()

@@ -1,0 +1,260 @@
+"""Tests of the reference engine's model semantics (paper §1.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import MultiAgentRotorRouter
+from repro.graphs.base import PortLabeledGraph
+from repro.graphs.families import clique, grid_2d, path_graph, star
+from repro.graphs.ring import ring_graph
+from repro.util.rng import make_rng
+
+
+def triangle_engine(agents=(0,), pointers=(0, 0, 0)):
+    return MultiAgentRotorRouter(
+        PortLabeledGraph([[1, 2], [0, 2], [0, 1]]), list(pointers), agents
+    )
+
+
+class TestConstruction:
+    def test_pointer_length_checked(self):
+        with pytest.raises(ValueError):
+            MultiAgentRotorRouter(ring_graph(5), [0] * 4, [0])
+
+    def test_pointer_range_checked(self):
+        with pytest.raises(ValueError):
+            MultiAgentRotorRouter(ring_graph(5), [0, 0, 2, 0, 0], [0])
+
+    def test_agent_range_checked(self):
+        with pytest.raises(ValueError):
+            MultiAgentRotorRouter(ring_graph(5), [0] * 5, [5])
+
+    def test_at_least_one_agent(self):
+        with pytest.raises(ValueError):
+            MultiAgentRotorRouter(ring_graph(5), [0] * 5, [])
+
+    def test_initial_visit_counts_are_occupancy(self):
+        e = MultiAgentRotorRouter(ring_graph(6), [0] * 6, [2, 2, 4])
+        assert e.visit_counts[2] == 2
+        assert e.visit_counts[4] == 1
+        assert e.visit_counts[0] == 0
+
+
+class TestSingleStepSemantics:
+    def test_agent_follows_pointer_then_advances(self):
+        e = triangle_engine(agents=(0,), pointers=(0, 0, 0))
+        moves = e.step()
+        assert moves == [(0, 1, 1)]
+        assert e.pointers[0] == 1  # advanced to next port
+
+    def test_two_agents_fan_out(self):
+        # Paper: "one agent along pi_v, the other along next(pi_v)".
+        e = triangle_engine(agents=(0, 0), pointers=(0, 0, 0))
+        moves = sorted(e.step())
+        assert moves == [(0, 1, 1), (0, 2, 1)]
+        assert e.pointers[0] == 0  # advanced twice around degree 2
+
+    def test_three_agents_wrap_ports(self):
+        e = triangle_engine(agents=(0, 0, 0), pointers=(0, 0, 0))
+        moves = dict(((s, d), c) for s, d, c in e.step())
+        assert moves[(0, 1)] == 2  # ports 0, 2 -> port 0 twice
+        assert moves[(0, 2)] == 1
+        assert e.pointers[0] == 1
+
+    def test_pointer_start_respected(self):
+        e = triangle_engine(agents=(0,), pointers=(1, 0, 0))
+        assert e.step() == [(0, 2, 1)]
+
+    def test_round_increments(self):
+        e = triangle_engine()
+        e.step()
+        assert e.round == 1
+
+    def test_star_center_round_robin(self):
+        e = MultiAgentRotorRouter(star(4), [0] * 5, [0])
+        destinations = []
+        for _ in range(8):
+            moves = e.step()  # center -> leaf
+            destinations.append(moves[0][1])
+            e.step()  # leaf -> center (only port)
+        # Round-robin over leaves 1..4, twice.
+        assert destinations == [1, 2, 3, 4, 1, 2, 3, 4]
+
+
+class TestConservationAndVisits:
+    @given(st.integers(0, 2 ** 30))
+    @settings(max_examples=25, deadline=None)
+    def test_agent_count_conserved(self, seed):
+        rng = make_rng(seed)
+        g = grid_2d(4, 4)
+        agents = [int(rng.integers(0, 16)) for _ in range(5)]
+        ptrs = [int(rng.integers(0, g.degree(v))) for v in range(16)]
+        e = MultiAgentRotorRouter(g, ptrs, agents)
+        for _ in range(50):
+            e.step()
+        assert int(e.counts.sum()) == 5
+
+    def test_visit_counts_accumulate_arrivals(self):
+        e = triangle_engine(agents=(0,))
+        e.step()  # 0 -> 1
+        assert e.visit_counts[1] == 1
+        # n_v(0): the initial occupancy of node 0 counts as one visit,
+        # and stepping away does not add more.
+        assert e.visit_counts[0] == 1
+        assert e.visit_counts[2] == 0
+
+    def test_exit_counts(self):
+        e = triangle_engine(agents=(0, 0))
+        e.step()
+        assert e.exit_counts[0] == 2
+
+    def test_cover_round_none_until_covered(self):
+        e = MultiAgentRotorRouter(ring_graph(8), [0] * 8, [0])
+        assert e.cover_round is None
+        e.run_until_covered(1000)
+        assert e.cover_round is not None
+        assert e.unvisited == 0
+
+    def test_cover_round_zero_when_fully_occupied(self):
+        e = MultiAgentRotorRouter(ring_graph(4), [0] * 4, [0, 1, 2, 3])
+        assert e.cover_round == 0
+
+    def test_run_until_covered_budget(self):
+        e = MultiAgentRotorRouter(ring_graph(64), [1] * 64, [0])
+        with pytest.raises(RuntimeError):
+            e.run_until_covered(3)
+
+    def test_run_negative_rejected(self):
+        with pytest.raises(ValueError):
+            triangle_engine().run(-1)
+
+
+class TestHolds:
+    def test_holding_all_freezes(self):
+        e = triangle_engine(agents=(0, 0))
+        moves = e.step(holds={0: 2})
+        assert moves == []
+        assert e.positions() == [0, 0]
+        assert e.pointers[0] == 0  # pointer untouched
+
+    def test_partial_hold_releases_rest(self):
+        e = triangle_engine(agents=(0, 0))
+        moves = e.step(holds={0: 1})
+        assert moves == [(0, 1, 1)]
+        assert sorted(e.positions()) == [0, 1]
+
+    def test_overhold_rejected(self):
+        e = triangle_engine(agents=(0,))
+        with pytest.raises(ValueError):
+            e.step(holds={0: 2})
+
+    def test_negative_hold_rejected(self):
+        e = triangle_engine(agents=(0,))
+        with pytest.raises(ValueError):
+            e.step(holds={0: -1})
+
+    def test_holding_does_not_create_visits(self):
+        e = triangle_engine(agents=(0,))
+        before = e.visit_counts.copy()
+        e.step(holds={0: 1})
+        assert np.array_equal(e.visit_counts, before)
+
+
+class TestArcTraversalLaw:
+    """The round-robin law: traversals(v,u) = ceil((e_v - port)/deg)."""
+
+    @given(st.integers(0, 2 ** 30))
+    @settings(max_examples=20, deadline=None)
+    def test_law_on_random_runs(self, seed):
+        rng = make_rng(seed)
+        g = grid_2d(3, 4)
+        n = g.num_nodes
+        agents = [int(rng.integers(0, n)) for _ in range(4)]
+        ptrs = [int(rng.integers(0, g.degree(v))) for v in range(n)]
+        e = MultiAgentRotorRouter(g, ptrs, agents, track_arcs=True)
+        e.run(int(rng.integers(1, 120)))
+        for v in range(n):
+            for u in g.neighbors(v):
+                assert e.measured_arc_traversals(v, u) == \
+                    e.expected_arc_traversals(v, u)
+
+    def test_law_with_multi_agent_pileups(self):
+        e = MultiAgentRotorRouter(
+            clique(5), [0] * 5, [0] * 7, track_arcs=True
+        )
+        e.run(40)
+        for v in range(5):
+            for u in e.graph.neighbors(v):
+                assert e.measured_arc_traversals(v, u) == \
+                    e.expected_arc_traversals(v, u)
+
+    def test_tracking_required(self):
+        e = triangle_engine()
+        with pytest.raises(RuntimeError):
+            e.measured_arc_traversals(0, 1)
+
+
+class TestSnapshotRestoreClone:
+    def test_snapshot_restore_round_trip(self):
+        e = MultiAgentRotorRouter(grid_2d(3, 3), [0] * 9, [0, 4])
+        e.run(7)
+        snap = e.snapshot()
+        continuation = [e.step() for _ in range(5)]
+        e.restore(snap)
+        replay = [e.step() for _ in range(5)]
+        assert continuation == replay
+
+    def test_clone_independent(self):
+        e = MultiAgentRotorRouter(ring_graph(8), [0] * 8, [0])
+        twin = e.clone()
+        e.run(10)
+        assert twin.round == 0 or twin.round != e.round
+        assert twin.state_key() != e.state_key() or e.round == twin.round
+
+    def test_clone_same_trajectory(self):
+        e = MultiAgentRotorRouter(grid_2d(3, 3), [1, 0] * 4 + [0], [2, 2])
+        e.run(3)
+        twin = e.clone()
+        for _ in range(10):
+            assert e.step() == twin.step()
+
+    def test_state_key_equality(self):
+        a = MultiAgentRotorRouter(ring_graph(6), [0] * 6, [1])
+        b = MultiAgentRotorRouter(ring_graph(6), [0] * 6, [1])
+        assert a.state_key() == b.state_key()
+        a.step()
+        assert a.state_key() != b.state_key()
+
+    def test_restore_wrong_graph_rejected(self):
+        a = MultiAgentRotorRouter(ring_graph(6), [0] * 6, [1])
+        b = MultiAgentRotorRouter(ring_graph(8), [0] * 8, [1])
+        with pytest.raises(ValueError):
+            b.restore(a.snapshot())
+
+
+class TestKnownCoverFacts:
+    def test_single_agent_path_quadraticish(self):
+        # All-left pointers from the left end: the classic slow case.
+        n = 32
+        ports = [0] + [1] * (n - 2) + [0]  # endpoints have one port
+        e = MultiAgentRotorRouter(path_graph(n), ports, [0])
+        cover = e.run_until_covered(10 * n * n)
+        assert cover >= (n - 1) ** 2 / 2  # bouncing exploration is slow
+        assert cover <= 4 * n * n
+
+    def test_clique_cover_fast(self):
+        e = MultiAgentRotorRouter(clique(10), [0] * 10, [0])
+        assert e.run_until_covered(1000) <= 200
+
+    def test_more_agents_never_slower(self):
+        # Yanovski et al. / Lemma 1 corollary.
+        g = grid_2d(4, 4)
+        covers = []
+        for k in (1, 2, 4, 8):
+            e = MultiAgentRotorRouter(g, [0] * 16, [0] * k)
+            covers.append(e.run_until_covered(10_000))
+        assert covers == sorted(covers, reverse=True) or all(
+            covers[i] >= covers[i + 1] for i in range(len(covers) - 1)
+        )

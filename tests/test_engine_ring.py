@@ -1,0 +1,197 @@
+"""Tests of the ring-specialized engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ring import RingRotorRouter
+from repro.util.rng import make_rng
+
+
+class TestConstruction:
+    def test_min_size(self):
+        with pytest.raises(ValueError):
+            RingRotorRouter(2, [1, 1], [0])
+
+    def test_pointer_values_checked(self):
+        with pytest.raises(ValueError):
+            RingRotorRouter(4, [1, 0, 1, 1], [0])
+
+    def test_pointer_length_checked(self):
+        with pytest.raises(ValueError):
+            RingRotorRouter(4, [1, 1, 1], [0])
+
+    def test_agents_required(self):
+        with pytest.raises(ValueError):
+            RingRotorRouter(4, [1] * 4, [])
+
+    def test_agent_range_checked(self):
+        with pytest.raises(ValueError):
+            RingRotorRouter(4, [1] * 4, [4])
+
+
+class TestStepSemantics:
+    def test_single_agent_follows_direction(self):
+        e = RingRotorRouter(6, [1] * 6, [0])
+        assert e.step() == [(0, 1, 1)]
+        assert e.ptr[0] == -1  # flipped after odd exit count
+
+    def test_anticlockwise(self):
+        e = RingRotorRouter(6, [-1] * 6, [0])
+        assert e.step() == [(0, 5, 1)]
+
+    def test_two_agents_split(self):
+        e = RingRotorRouter(6, [1] * 6, [3, 3])
+        moves = sorted(e.step())
+        assert moves == [(3, 2, 1), (3, 4, 1)]
+        assert e.ptr[3] == 1  # two exits: pointer back where it started
+
+    def test_five_agents_split_three_two(self):
+        e = RingRotorRouter(6, [1] * 6, [0] * 5)
+        moves = dict(((s, d), c) for s, d, c in e.step())
+        assert moves[(0, 1)] == 3  # ceil(5/2) along the pointer
+        assert moves[(0, 5)] == 2
+        assert e.ptr[0] == -1  # odd exits flip
+
+    def test_wraparound(self):
+        e = RingRotorRouter(5, [1] * 5, [4])
+        assert e.step() == [(4, 0, 1)]
+
+    def test_visit_exit_counters(self):
+        e = RingRotorRouter(6, [1] * 6, [0, 0])
+        e.step()
+        assert e.visit_counts[1] == 1
+        assert e.visit_counts[5] == 1
+        assert e.exit_counts[0] == 2
+
+    def test_holds(self):
+        e = RingRotorRouter(6, [1] * 6, [0, 0])
+        moves = e.step(holds={0: 1})
+        assert moves == [(0, 1, 1)]
+        assert sorted(e.positions()) == [0, 1]
+
+    def test_overhold_rejected(self):
+        e = RingRotorRouter(6, [1] * 6, [0])
+        with pytest.raises(ValueError):
+            e.step(holds={0: 2})
+
+
+class TestCoverDetection:
+    def test_uniform_sweep_covers_in_n_minus_one(self):
+        # One agent, all pointers clockwise: a straight sweep.
+        n = 20
+        e = RingRotorRouter(n, [1] * n, [0], track_counts=False)
+        assert e.run_until_covered() == n - 1
+
+    def test_fast_loop_matches_step_loop(self):
+        n, k = 48, 4
+        dirs = [1 if v % 3 else -1 for v in range(n)]
+        agents = [0, 5, 5, 30]
+        fast = RingRotorRouter(n, list(dirs), agents, track_counts=False)
+        slow = RingRotorRouter(n, list(dirs), agents, track_counts=True)
+        assert fast.run_until_covered() == slow.run_until_covered()
+        assert fast.positions() == slow.positions()
+        assert fast.ptr == slow.ptr
+
+    def test_budget_exhaustion_raises_and_preserves_state(self):
+        e = RingRotorRouter(32, [1] * 32, [0], track_counts=False)
+        with pytest.raises(RuntimeError):
+            e.run_until_covered(5)
+        assert e.round == 5
+        assert sum(e.counts.values()) == 1
+
+    def test_already_covered_returns_existing(self):
+        e = RingRotorRouter(3, [1] * 3, [0, 1, 2])
+        assert e.run_until_covered() == 0
+
+    def test_cover_round_is_first_full_visit_round(self):
+        n = 10
+        e = RingRotorRouter(n, [1] * n, [0], track_counts=False)
+        cover = e.run_until_covered()
+        e2 = RingRotorRouter(n, [1] * n, [0])
+        for _ in range(cover - 1):
+            e2.step()
+        assert e2.unvisited > 0
+        e2.step()
+        assert e2.unvisited == 0
+
+
+class TestStateManagement:
+    def test_snapshot_restore(self):
+        e = RingRotorRouter(16, [1] * 16, [0, 8])
+        e.run(9)
+        snap = e.snapshot()
+        ahead = [e.step() for _ in range(6)]
+        e.restore(snap)
+        assert [e.step() for _ in range(6)] == ahead
+
+    def test_clone_same_trajectory(self):
+        e = RingRotorRouter(16, [-1] * 16, [3, 3, 9])
+        e.run(4)
+        twin = e.clone()
+        for _ in range(12):
+            # Move lists are order-insensitive (dict iteration order may
+            # differ between the clone and the original).
+            assert sorted(e.step()) == sorted(twin.step())
+            assert e.positions() == twin.positions()
+
+    def test_state_key_ignores_round(self):
+        a = RingRotorRouter(8, [1] * 8, [0])
+        b = RingRotorRouter(8, [1] * 8, [0])
+        b.round = 17
+        assert a.state_key() == b.state_key()
+
+    def test_restore_size_checked(self):
+        a = RingRotorRouter(8, [1] * 8, [0])
+        b = RingRotorRouter(10, [1] * 10, [0])
+        with pytest.raises(ValueError):
+            b.restore(a.snapshot())
+
+    def test_positions_multiset(self):
+        e = RingRotorRouter(8, [1] * 8, [5, 2, 5])
+        assert e.positions() == [2, 5, 5]
+
+
+class TestConservation:
+    @given(st.integers(0, 2 ** 30))
+    @settings(max_examples=30, deadline=None)
+    def test_agents_conserved_random_runs(self, seed):
+        rng = make_rng(seed)
+        n = int(rng.integers(3, 40))
+        k = int(rng.integers(1, 8))
+        dirs = [int(d) for d in rng.choice((1, -1), size=n)]
+        agents = [int(a) for a in rng.integers(0, n, size=k)]
+        e = RingRotorRouter(n, dirs, agents)
+        for _ in range(60):
+            e.step()
+        assert sum(e.counts.values()) == k
+        assert all(c > 0 for c in e.counts.values())
+
+    @given(st.integers(0, 2 ** 30))
+    @settings(max_examples=20, deadline=None)
+    def test_visited_monotone(self, seed):
+        rng = make_rng(seed)
+        n = int(rng.integers(3, 30))
+        dirs = [int(d) for d in rng.choice((1, -1), size=n)]
+        e = RingRotorRouter(n, dirs, [0])
+        seen = set(v for v in range(n) if e.visited[v])
+        for _ in range(50):
+            e.step()
+            now = set(v for v in range(n) if e.visited[v])
+            assert seen <= now
+            seen = now
+
+    def test_lemma5_at_most_two_agents_preserved(self):
+        # Lemma 5: once <= 2 agents per node, always <= 2 per node.
+        rng = make_rng(123)
+        for _ in range(10):
+            n = int(rng.integers(6, 24))
+            k = int(rng.integers(2, min(n, 9)))
+            agents = sorted(
+                int(a) for a in rng.choice(n, size=k, replace=False)
+            )
+            dirs = [int(d) for d in rng.choice((1, -1), size=n)]
+            e = RingRotorRouter(n, dirs, agents)
+            for _ in range(200):
+                e.step()
+                assert max(e.counts.values()) <= 2

@@ -1,0 +1,40 @@
+"""Tests for the stabilization-time extension experiment."""
+
+from repro.experiments.stabilization import (
+    run_stabilization,
+    stabilization_battery,
+)
+
+
+class TestBattery:
+    def test_friendly_init_already_stable(self):
+        battery = stabilization_battery(64, 4, seeds=())
+        preperiod, period = battery["spaced/positive"]
+        assert preperiod == 0
+        # The period is a whole number of patrol loops (2 * n/k each).
+        assert period % (2 * (64 // 4)) == 0
+
+    def test_periods_are_patrol_multiples(self):
+        n, k = 64, 4
+        for name, (_pre, period) in stabilization_battery(
+            n, k, seeds=(0,)
+        ).items():
+            assert period % (n // k) == 0, name
+
+    def test_preperiod_below_quadratic(self):
+        n, k = 96, 4
+        for name, (preperiod, _) in stabilization_battery(
+            n, k, seeds=(0, 1)
+        ).items():
+            assert preperiod <= n * n, name
+
+
+class TestReport:
+    def test_report_structure(self):
+        report = run_stabilization(ns=(48, 96), k=4, seeds=(0,))
+        table = report.tables[0]
+        assert len(table.rows) == 2 * 4  # 2 sizes x 4 initializations
+        ratios = table.column("preperiod/n^2")
+        assert all(0.0 <= r <= 1.0 for r in ratios)
+        normalized_periods = table.column("period/(n/k)")
+        assert all(p >= 1.0 for p in normalized_periods)

@@ -1,0 +1,124 @@
+"""Tests for the deterministic graph families."""
+
+import pytest
+
+from repro.graphs.families import (
+    clique,
+    grid_2d,
+    hypercube,
+    lollipop,
+    path_graph,
+    star,
+    torus_2d,
+)
+
+
+class TestPath:
+    def test_endpoints_degree_one(self):
+        g = path_graph(6)
+        assert g.degree(0) == 1
+        assert g.degree(5) == 1
+        assert all(g.degree(v) == 2 for v in range(1, 5))
+
+    def test_interior_port_order_matches_ring(self):
+        g = path_graph(5)
+        assert g.neighbors(2) == (3, 1)  # [right, left]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            path_graph(1)
+
+    def test_connected(self):
+        assert path_graph(10).is_connected()
+
+
+class TestGrid:
+    def test_shape(self):
+        g = grid_2d(3, 4)
+        assert g.num_nodes == 12
+        # edges: 3*3 horizontal + 2*4 vertical
+        assert g.num_edges == 3 * 3 + 2 * 4
+
+    def test_corner_degree(self):
+        g = grid_2d(3, 3)
+        assert g.degree(0) == 2
+        assert g.degree(4) == 4  # center
+
+    def test_connected(self):
+        assert grid_2d(5, 7).is_connected()
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            grid_2d(0, 5)
+        with pytest.raises(ValueError):
+            grid_2d(1, 1)
+
+
+class TestTorus:
+    def test_regular(self):
+        g = torus_2d(4, 5)
+        assert all(g.degree(v) == 4 for v in range(20))
+
+    def test_edge_count(self):
+        g = torus_2d(4, 4)
+        assert g.num_edges == 2 * 16
+
+    def test_small_dims_rejected(self):
+        with pytest.raises(ValueError):
+            torus_2d(2, 5)
+
+    def test_connected(self):
+        assert torus_2d(3, 3).is_connected()
+
+
+class TestHypercube:
+    def test_sizes(self):
+        g = hypercube(4)
+        assert g.num_nodes == 16
+        assert all(g.degree(v) == 4 for v in range(16))
+        assert g.num_edges == 16 * 4 // 2
+
+    def test_ports_flip_bits(self):
+        g = hypercube(3)
+        assert g.port_target(0b101, 1) == 0b111
+
+    def test_diameter_is_dimension(self):
+        assert hypercube(5).diameter() == 5
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            hypercube(0)
+
+
+class TestCliqueStarLollipop:
+    def test_clique_complete(self):
+        g = clique(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in range(6))
+
+    def test_clique_min_size(self):
+        with pytest.raises(ValueError):
+            clique(1)
+
+    def test_star_shape(self):
+        g = star(5)
+        assert g.num_nodes == 6
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+
+    def test_star_needs_leaf(self):
+        with pytest.raises(ValueError):
+            star(0)
+
+    def test_lollipop_structure(self):
+        g = lollipop(5, 3)
+        assert g.num_nodes == 8
+        assert g.is_connected()
+        assert g.degree(7) == 1  # tail end
+        assert g.degree(4) == 5  # attachment node: clique 4 + tail 1
+
+    def test_lollipop_validation(self):
+        with pytest.raises(ValueError):
+            lollipop(2, 3)
+        with pytest.raises(ValueError):
+            lollipop(4, 0)

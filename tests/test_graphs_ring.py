@@ -1,0 +1,80 @@
+"""Tests for the ring graph and its direction helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.ring import (
+    clockwise_distance,
+    direction_toward,
+    ring_distance,
+    ring_graph,
+)
+
+
+class TestRingGraph:
+    def test_port_convention(self):
+        g = ring_graph(5)
+        for v in range(5):
+            assert g.port_target(v, 0) == (v + 1) % 5  # port 0 clockwise
+            assert g.port_target(v, 1) == (v - 1) % 5  # port 1 anticlockwise
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+    def test_regular_degree_two(self):
+        g = ring_graph(7)
+        assert all(g.degree(v) == 2 for v in range(7))
+
+    def test_edge_count(self):
+        assert ring_graph(9).num_edges == 9
+
+
+class TestDistances:
+    @given(st.integers(3, 50), st.integers(0, 49), st.integers(0, 49))
+    def test_symmetry(self, n, u, v):
+        u, v = u % n, v % n
+        assert ring_distance(n, u, v) == ring_distance(n, v, u)
+
+    @given(st.integers(3, 50), st.integers(0, 49))
+    def test_self_distance_zero(self, n, u):
+        assert ring_distance(n, u % n, u % n) == 0
+
+    @given(st.integers(3, 50), st.integers(0, 49), st.integers(0, 49))
+    def test_at_most_half(self, n, u, v):
+        assert ring_distance(n, u % n, v % n) <= n // 2
+
+    def test_clockwise_distance(self):
+        assert clockwise_distance(10, 3, 7) == 4
+        assert clockwise_distance(10, 7, 3) == 6
+
+    @given(st.integers(3, 50), st.integers(0, 49), st.integers(0, 49))
+    def test_clockwise_plus_reverse_is_n(self, n, u, v):
+        u, v = u % n, v % n
+        if u != v:
+            assert (
+                clockwise_distance(n, u, v) + clockwise_distance(n, v, u) == n
+            )
+
+
+class TestDirectionToward:
+    def test_short_way(self):
+        assert direction_toward(10, 0, 2) == 1
+        assert direction_toward(10, 0, 8) == -1
+
+    def test_tie_resolves_clockwise(self):
+        assert direction_toward(10, 0, 5) == 1
+
+    def test_same_node_rejected(self):
+        with pytest.raises(ValueError):
+            direction_toward(10, 3, 3)
+
+    @given(st.integers(4, 40), st.integers(0, 39), st.integers(0, 39))
+    def test_direction_decreases_distance(self, n, u, v):
+        u, v = u % n, v % n
+        if u == v:
+            return
+        d = direction_toward(n, u, v)
+        moved = (u + d) % n
+        assert ring_distance(n, moved, v) <= ring_distance(n, u, v)

@@ -1,0 +1,141 @@
+"""Integration tests of the paper's headline claims (small scale).
+
+Each test crosses module boundaries (engines + placements + pointers +
+analysis) and asserts a Table 1 fact end to end.  Sizes are small so
+the whole file runs in seconds; the benchmarks repeat these at scale.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.cover_time import (
+    ring_rotor_cover_time,
+    ring_walk_cover_estimate,
+)
+from repro.analysis.return_time import ring_rotor_return_time_exact
+from repro.core import placement, pointers
+from repro.theory import bounds
+
+
+class TestCoverTimeSpectrum:
+    """The full worst-to-best spectrum on one ring."""
+
+    N = 256
+
+    def cover(self, agents, directions):
+        return ring_rotor_cover_time(self.N, agents, directions)
+
+    def test_spectrum_ordering(self):
+        n, k = self.N, 8
+        worst = self.cover(
+            placement.all_on_one(k), pointers.ring_toward_node(n, 0)
+        )
+        spaced = placement.equally_spaced(n, k)
+        best_adversarial = self.cover(spaced, pointers.ring_negative(n, spaced))
+        best_friendly = self.cover(spaced, pointers.ring_positive(n, spaced))
+        # Θ(n²/log k) >> Θ(n²/k²) >> Θ(n/k).
+        assert worst > 4 * best_adversarial
+        assert best_adversarial > 4 * best_friendly
+        # And the absolute shapes.
+        assert worst == pytest.approx(
+            0.2 * bounds.rotor_cover_worst(n, k), rel=0.5
+        )
+        assert best_adversarial == pytest.approx(
+            0.5 * bounds.rotor_cover_best(n, k), rel=0.3
+        )
+
+    def test_single_agent_matches_both_bounds(self):
+        # k = 1: worst and best shapes coincide at Θ(n²).
+        n = self.N
+        worst = self.cover([0], pointers.ring_toward_node(n, 0))
+        assert n * n / 4 <= worst <= n * n
+
+    def test_worst_case_speedup_is_logarithmic(self):
+        n = self.N
+        covers = {
+            k: self.cover(
+                placement.all_on_one(k), pointers.ring_toward_node(n, 0)
+            )
+            for k in (1, 4, 16, 64)
+        }
+        speedups = {k: covers[1] / covers[k] for k in (4, 16, 64)}
+        # Quadrupling k adds a roughly constant increment (log shape),
+        # far from multiplying the speed-up by 4.
+        inc1 = speedups[16] - speedups[4]
+        inc2 = speedups[64] - speedups[16]
+        assert speedups[64] < 16
+        assert 0.3 < inc2 / inc1 < 3.0
+
+    def test_best_case_speedup_is_quadratic(self):
+        n = self.N
+
+        def best(k):
+            spaced = placement.equally_spaced(n, k)
+            return self.cover(spaced, pointers.ring_negative(n, spaced))
+
+        covers = {k: best(k) for k in (1, 2, 4, 8)}
+        for k in (2, 4, 8):
+            speedup = covers[1] / covers[k]
+            assert speedup == pytest.approx(k * k, rel=0.35)
+
+
+class TestModelComparison:
+    """Rotor-router vs random walks, same placements."""
+
+    def test_worst_placement_both_models_agree(self):
+        n, k = 192, 8
+        rotor = ring_rotor_cover_time(
+            n, placement.all_on_one(k), pointers.ring_toward_node(n, 0)
+        )
+        walk = ring_walk_cover_estimate(
+            n, placement.all_on_one(k), repetitions=8, base_seed=3
+        ).mean
+        # Same Θ(n²/log k): within a small constant of each other.
+        assert 0.4 <= rotor / walk <= 2.5
+
+    def test_best_placement_rotor_wins_by_polylog(self):
+        n, k = 256, 8
+        spaced = placement.equally_spaced(n, k)
+        rotor = ring_rotor_cover_time(
+            n, spaced, pointers.ring_negative(n, spaced)
+        )
+        walk = ring_walk_cover_estimate(
+            n, spaced, repetitions=8, base_seed=4
+        ).mean
+        ratio = walk / rotor
+        # Theorem 5: the gap is Θ(log²k) = 4.3 at k = 8.
+        assert 1.5 <= ratio <= 12.0
+
+    def test_return_time_both_models_fair_share(self):
+        n, k = 128, 4
+        rotor = ring_rotor_return_time_exact(
+            n, placement.all_on_one(k), pointers.ring_toward_node(n, 0)
+        )
+        assert rotor.worst_gap == 2 * n / k  # exact on the ring
+        from repro.randomwalk.visits import ring_walk_gap_statistics
+
+        walk = ring_walk_gap_statistics(
+            n, k, node=0, observation_rounds=800 * n, burn_in=4 * n, seed=5
+        )
+        assert walk.mean == pytest.approx(n / k, rel=0.25)
+        assert walk.maximum > rotor.worst_gap  # no deterministic ceiling
+
+
+class TestRegimeAnnotations:
+    def test_paper_regime_max_k_consistent_with_placement_check(self):
+        n = 2 ** 23
+        k = bounds.paper_regime_max_k(n)
+        assert placement.paper_regime_ok(n, k)
+        assert not placement.paper_regime_ok(n, k + 1)
+
+    def test_shapes_consistent_with_theorem_statements(self):
+        n = 10 ** 4
+        for k in (2, 8, 32):
+            assert bounds.rotor_cover_worst(n, k) == pytest.approx(
+                n * n / math.log(k)
+            )
+            assert bounds.rotor_cover_best(n, k) * k * k == pytest.approx(
+                n * n
+            )
+            assert bounds.rotor_return_time(n, k) * k == pytest.approx(n)

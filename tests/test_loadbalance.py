@@ -1,0 +1,106 @@
+"""Tests for the load-balancing extension."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.families import torus_2d
+from repro.graphs.ring import ring_graph
+from repro.loadbalance.diffusion import RotorDiffusion, random_walk_diffusion
+from repro.loadbalance.discrepancy import (
+    DiscrepancyTrace,
+    discrepancy_trace,
+    uniform_discrepancy,
+)
+
+
+class TestRotorDiffusion:
+    def test_token_conservation(self):
+        g = ring_graph(16)
+        d = RotorDiffusion(g, [0] * 64)
+        d.run(100)
+        assert int(d.loads().sum()) == 64
+
+    def test_round_counter(self):
+        d = RotorDiffusion(ring_graph(8), [0] * 8)
+        d.run(5)
+        assert d.round == 5
+
+    def test_loads_is_copy(self):
+        d = RotorDiffusion(ring_graph(8), [0] * 8)
+        loads = d.loads()
+        loads[:] = 0
+        assert int(d.loads().sum()) == 8
+
+    def test_default_ports(self):
+        d = RotorDiffusion(ring_graph(8), [0, 4])
+        assert d.num_tokens == 2
+
+
+class TestRandomWalkDiffusion:
+    def test_conservation(self):
+        g = torus_2d(4, 4)
+        loads = random_walk_diffusion(g, [0] * 100, rounds=50, seed=1)
+        assert int(loads.sum()) == 100
+
+    def test_deterministic_per_seed(self):
+        g = ring_graph(12)
+        a = random_walk_diffusion(g, [0] * 30, rounds=20, seed=7)
+        b = random_walk_diffusion(g, [0] * 30, rounds=20, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        g = ring_graph(8)
+        with pytest.raises(ValueError):
+            random_walk_diffusion(g, [], rounds=5)
+        with pytest.raises(ValueError):
+            random_walk_diffusion(g, [0], rounds=-1)
+        with pytest.raises(ValueError):
+            random_walk_diffusion(g, [9], rounds=5)
+
+
+class TestDiscrepancy:
+    def test_uniform_discrepancy(self):
+        assert uniform_discrepancy(np.array([2.0, 2.0, 2.0])) == 0.0
+        assert uniform_discrepancy(np.array([0.0, 4.0])) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_discrepancy(np.array([]))
+
+    def test_trace_records(self):
+        d = RotorDiffusion(ring_graph(8), [0] * 32)
+        trace = discrepancy_trace(d, total_rounds=20, sample_every=5)
+        assert isinstance(trace, DiscrepancyTrace)
+        assert len(trace.rounds) == 4
+        assert trace.peak >= trace.final
+
+    def test_trace_validation(self):
+        d = RotorDiffusion(ring_graph(8), [0] * 8)
+        with pytest.raises(ValueError):
+            discrepancy_trace(d, total_rounds=0, sample_every=1)
+        with pytest.raises(ValueError):
+            discrepancy_trace(d, total_rounds=3, sample_every=5)
+
+
+class TestBalancingBehaviour:
+    def test_rotor_discrepancy_settles_low_on_torus(self):
+        # Cooper-Spencer style behaviour: from the worst imbalance the
+        # rotor-router reaches near-fair loads and stays there.
+        g = torus_2d(6, 6)
+        per_node = 6
+        d = RotorDiffusion(g, [0] * (per_node * g.num_nodes))
+        d.run(20 * g.num_nodes)
+        late = discrepancy_trace(d, total_rounds=200, sample_every=10)
+        assert late.peak <= 3 * per_node
+
+    def test_rotor_no_worse_than_walk_on_torus(self):
+        g = torus_2d(6, 6)
+        tokens = [0] * (8 * g.num_nodes)
+        rounds = 10 * g.num_nodes
+        rotor = RotorDiffusion(g, list(tokens))
+        rotor.run(rounds)
+        rotor_disc = uniform_discrepancy(rotor.loads())
+        walk_disc = uniform_discrepancy(
+            random_walk_diffusion(g, list(tokens), rounds=rounds, seed=0)
+        )
+        assert rotor_disc <= 2 * walk_disc + 8

@@ -1,0 +1,108 @@
+"""Tests for agent placements."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import placement
+from repro.graphs.ring import ring_distance
+
+
+class TestAllOnOne:
+    def test_basic(self):
+        assert placement.all_on_one(3, node=5) == [5, 5, 5]
+
+    def test_default_node(self):
+        assert placement.all_on_one(2) == [0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            placement.all_on_one(0)
+        with pytest.raises(ValueError):
+            placement.all_on_one(2, node=-1)
+
+
+class TestEquallySpaced:
+    def test_exact_division(self):
+        assert placement.equally_spaced(12, 4) == [0, 3, 6, 9]
+
+    def test_offset(self):
+        assert placement.equally_spaced(12, 4, offset=2) == [2, 5, 8, 11]
+
+    def test_uneven(self):
+        spots = placement.equally_spaced(10, 3)
+        assert spots == [0, 3, 6]
+
+    @given(st.integers(3, 60), st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_gaps_at_most_ceil_n_over_k(self, n, k):
+        k = min(k, n)
+        spots = placement.equally_spaced(n, k)
+        assert len(spots) == k
+        assert len(set(spots)) == k  # distinct
+        ordered = sorted(spots)
+        gaps = [
+            (ordered[(i + 1) % k] - ordered[i]) % n if k > 1 else n
+            for i in range(k)
+        ]
+        assert max(gaps) <= -(-n // k) + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            placement.equally_spaced(0, 1)
+        with pytest.raises(ValueError):
+            placement.equally_spaced(10, 0)
+
+
+class TestRandomNodes:
+    def test_deterministic(self):
+        assert placement.random_nodes(50, 5, seed=1) == \
+            placement.random_nodes(50, 5, seed=1)
+
+    def test_distinct(self):
+        spots = placement.random_nodes(20, 10, seed=2, distinct=True)
+        assert len(set(spots)) == 10
+
+    def test_distinct_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            placement.random_nodes(5, 6, distinct=True)
+
+    def test_range(self):
+        spots = placement.random_nodes(30, 50, seed=0)
+        assert all(0 <= s < 30 for s in spots)
+
+
+class TestClusteredAndHalfRing:
+    def test_clustered_counts(self):
+        spots = placement.clustered(40, 8, 4, seed=0)
+        assert len(spots) == 8
+        assert len(set(spots)) == 4
+
+    def test_clustered_single_is_stack(self):
+        spots = placement.clustered(40, 5, 1, seed=0)
+        assert len(set(spots)) == 1
+
+    def test_clustered_validation(self):
+        with pytest.raises(ValueError):
+            placement.clustered(40, 4, 5)
+        with pytest.raises(ValueError):
+            placement.clustered(3, 8, 5)
+
+    def test_half_ring_leaves_gap(self):
+        n, k = 40, 4
+        spots = placement.half_ring(n, k)
+        assert all(s < n // 2 for s in spots)
+        # The far point of the ring is at distance >= ~n/4 from all.
+        far = 3 * n // 4
+        assert min(ring_distance(n, far, s) for s in spots) >= n // 5
+
+
+class TestPaperRegime:
+    def test_small_k_in_regime(self):
+        assert placement.paper_regime_ok(10 ** 12, 10)
+
+    def test_practical_sizes_out_of_regime(self):
+        assert not placement.paper_regime_ok(512, 8)
+
+    def test_k1_needs_n_above_one(self):
+        assert placement.paper_regime_ok(3, 1)

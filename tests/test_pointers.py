@@ -1,0 +1,170 @@
+"""Tests for pointer initializations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pointers
+from repro.core.ring import RingRotorRouter
+from repro.graphs.families import grid_2d
+from repro.graphs.ring import ring_distance, ring_graph
+
+
+class TestTowardNode:
+    def test_points_along_shortest_path(self):
+        dirs = pointers.ring_toward_node(10, 0)
+        assert dirs[1] == -1   # 1 -> 0 anticlockwise
+        assert dirs[9] == 1    # 9 -> 0 clockwise
+        assert dirs[5] == 1    # antipodal tie resolves clockwise
+
+    def test_at_target_default(self):
+        assert pointers.ring_toward_node(8, 3)[3] == 1
+        assert pointers.ring_toward_node(8, 3, at_target=-1)[3] == -1
+
+    def test_target_range_checked(self):
+        with pytest.raises(ValueError):
+            pointers.ring_toward_node(8, 8)
+
+    @given(st.integers(4, 40), st.integers(0, 39))
+    @settings(max_examples=30, deadline=None)
+    def test_following_pointers_reaches_target(self, n, target):
+        target %= n
+        dirs = pointers.ring_toward_node(n, target)
+        for start in range(n):
+            v = start
+            for _ in range(n):
+                if v == target:
+                    break
+                v = (v + dirs[v]) % n
+            assert v == target
+
+
+class TestNegative:
+    def test_first_visit_reflects(self):
+        # The defining property: an agent reaching a fresh node is sent
+        # straight back where it came from.
+        n = 16
+        agents = [0]
+        dirs = pointers.ring_negative(n, agents)
+        e = RingRotorRouter(n, dirs, agents)
+        moves = e.step()          # 0 -> 1 (at_agents default clockwise)
+        assert moves == [(0, 1, 1)]
+        moves = e.step()          # first visit to 1 must bounce back
+        assert moves == [(1, 0, 1)]
+
+    def test_points_toward_nearest_agent(self):
+        dirs = pointers.ring_negative(12, [0, 6])
+        assert dirs[2] == -1  # nearest agent at 0, anticlockwise
+        assert dirs[4] == 1   # nearest agent at 6, clockwise
+        assert dirs[8] == -1
+        assert dirs[10] == 1
+
+    def test_at_agents_override(self):
+        dirs = pointers.ring_negative(8, [3], at_agents=-1)
+        assert dirs[3] == -1
+
+    def test_requires_agents(self):
+        with pytest.raises(ValueError):
+            pointers.ring_negative(8, [])
+
+    def test_agent_range_checked(self):
+        with pytest.raises(ValueError):
+            pointers.ring_negative(8, [9])
+
+    @given(st.integers(6, 40), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_unoccupied_pointers_point_at_nearer_side(self, n, k):
+        from repro.util.rng import make_rng
+
+        rng = make_rng(n * 100 + k)
+        agents = sorted(
+            int(a) for a in rng.choice(n, size=min(k, n), replace=False)
+        )
+        dirs = pointers.ring_negative(n, agents)
+        occupied = set(agents)
+        for v in range(n):
+            if v in occupied:
+                continue
+            toward = (v + dirs[v]) % n
+            away = (v - dirs[v]) % n
+            dist_toward = min(ring_distance(n, toward, a) for a in agents)
+            dist_away = min(ring_distance(n, away, a) for a in agents)
+            assert dist_toward <= dist_away
+
+
+class TestPositive:
+    def test_mirror_of_negative_off_agents(self):
+        agents = [0, 7]
+        neg = pointers.ring_negative(15, agents)
+        pos = pointers.ring_positive(15, agents)
+        for v in range(15):
+            if v in agents:
+                assert pos[v] == neg[v]
+            else:
+                assert pos[v] == -neg[v]
+
+    def test_first_visit_propagates(self):
+        n = 16
+        dirs = pointers.ring_positive(n, [0])
+        e = RingRotorRouter(n, dirs, [0])
+        e.step()  # 0 -> 1
+        moves = e.step()
+        assert moves == [(1, 2, 1)]  # continues onward
+
+
+class TestUniformRandomAlternating:
+    def test_uniform(self):
+        assert pointers.ring_uniform(5) == [1] * 5
+        assert pointers.ring_uniform(5, -1) == [-1] * 5
+
+    def test_uniform_validates(self):
+        with pytest.raises(ValueError):
+            pointers.ring_uniform(5, 0)
+
+    def test_alternating(self):
+        dirs = pointers.ring_alternating(6)
+        assert dirs == [1, -1, 1, -1, 1, -1]
+
+    def test_random_deterministic(self):
+        assert pointers.ring_random(20, 3) == pointers.ring_random(20, 3)
+
+    def test_random_values(self):
+        assert set(pointers.ring_random(50, 1)) == {1, -1}
+
+    def test_explicit_validates(self):
+        with pytest.raises(ValueError):
+            pointers.ring_explicit([1, 0, -1])
+        assert pointers.ring_explicit((1, -1)) == [1, -1]
+
+
+class TestGeneralGraphPointers:
+    def test_zero_ports(self):
+        assert pointers.zero_ports(ring_graph(4)) == [0, 0, 0, 0]
+
+    def test_random_ports_in_range(self):
+        g = grid_2d(4, 4)
+        ports = pointers.random_ports(g, 7)
+        assert all(0 <= p < g.degree(v) for v, p in enumerate(ports))
+
+    def test_ports_toward_sources_shortest_paths(self):
+        g = grid_2d(4, 4)
+        ports = pointers.ports_toward_sources(g, [0])
+        distances = g.bfs_distances(0)
+        for v in range(1, g.num_nodes):
+            parent = g.port_target(v, ports[v])
+            assert distances[parent] == distances[v] - 1
+
+    def test_ports_toward_sources_validates(self):
+        with pytest.raises(ValueError):
+            pointers.ports_toward_sources(ring_graph(5), [])
+        with pytest.raises(ValueError):
+            pointers.ports_toward_sources(ring_graph(5), [7])
+
+    def test_direction_port_mapping(self):
+        assert pointers.ring_direction_to_port(1) == 0
+        assert pointers.ring_direction_to_port(-1) == 1
+        with pytest.raises(ValueError):
+            pointers.ring_direction_to_port(2)
+
+    def test_ring_pointers_to_ports(self):
+        assert pointers.ring_pointers_to_ports([1, -1, 1]) == [0, 1, 0]

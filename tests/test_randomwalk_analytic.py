@@ -1,0 +1,113 @@
+"""Tests for closed-form walk quantities (and simulation agreement)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.randomwalk.analytic import (
+    cover_time_best_k_walks,
+    cover_time_worst_k_walks,
+    expected_return_gap,
+    gambler_ruin_duration,
+    gambler_ruin_probability,
+    harmonic_number,
+    max_hitting_time_ring,
+    path_hitting_time_to_end,
+    ring_commute_time,
+    ring_cover_time_single,
+    ring_hitting_time,
+)
+from repro.util.rng import make_rng
+
+
+class TestHittingTimes:
+    def test_known_values(self):
+        assert ring_hitting_time(10, 1) == 9.0
+        assert ring_hitting_time(10, 5) == 25.0
+
+    @given(st.integers(3, 100), st.integers(0, 99))
+    def test_symmetry_d_and_n_minus_d(self, n, d):
+        d %= n
+        assert ring_hitting_time(n, d) == ring_hitting_time(n, n - d)
+
+    def test_max_hitting(self):
+        assert max_hitting_time_ring(10) == 25.0
+        assert max_hitting_time_ring(11) == 30.0
+
+    @given(st.integers(3, 60))
+    def test_max_hitting_dominates(self, n):
+        assert all(
+            ring_hitting_time(n, d) <= max_hitting_time_ring(n)
+            for d in range(n)
+        )
+
+    def test_commute_is_double(self):
+        assert ring_commute_time(12, 3) == 2 * ring_hitting_time(12, 3)
+
+    def test_path_hitting(self):
+        assert path_hitting_time_to_end(10, 0) == 100.0
+        assert path_hitting_time_to_end(10, 6) == 64.0
+
+    def test_path_hitting_validation(self):
+        with pytest.raises(ValueError):
+            path_hitting_time_to_end(5, 6)
+
+
+class TestGamblersRuin:
+    def test_probability(self):
+        assert gambler_ruin_probability(3, 12) == 0.25
+
+    def test_boundaries(self):
+        assert gambler_ruin_probability(0, 5) == 0.0
+        assert gambler_ruin_probability(5, 5) == 1.0
+
+    def test_duration(self):
+        assert gambler_ruin_duration(3, 12) == 27.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gambler_ruin_probability(6, 5)
+        with pytest.raises(ValueError):
+            gambler_ruin_duration(-1, 5)
+
+    def test_simulated_probability_agrees(self):
+        # Direct Monte Carlo of the +/-1 walk absorbed at 0 and b.
+        a, b, trials = 3, 9, 4000
+        rng = make_rng(0)
+        wins = 0
+        for _ in range(trials):
+            x = a
+            while 0 < x < b:
+                x += 1 if rng.random() < 0.5 else -1
+            wins += x == b
+        assert abs(wins / trials - a / b) < 0.03
+
+
+class TestCoverFormulas:
+    def test_single_cover(self):
+        assert ring_cover_time_single(10) == 45.0
+
+    def test_k1_fallbacks(self):
+        assert cover_time_worst_k_walks(10, 1) == 45.0
+        assert cover_time_best_k_walks(10, 1) == 45.0
+
+    def test_shapes_decrease_in_k(self):
+        worst = [cover_time_worst_k_walks(100, k) for k in (2, 4, 8, 16)]
+        best = [cover_time_best_k_walks(100, k) for k in (2, 4, 8, 16)]
+        assert worst == sorted(worst, reverse=True)
+        assert best == sorted(best, reverse=True)
+
+    def test_return_gap(self):
+        assert expected_return_gap(30, 3) == 10.0
+
+    def test_harmonic(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(3) == pytest.approx(1.0 + 0.5 + 1 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_hitting_time(2, 1)
+        with pytest.raises(ValueError):
+            expected_return_gap(10, 0)
+        with pytest.raises(ValueError):
+            harmonic_number(-1)

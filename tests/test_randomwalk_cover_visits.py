@@ -1,0 +1,81 @@
+"""Tests for the cover-estimate harness and visit-gap statistics."""
+
+import numpy as np
+import pytest
+
+from repro.randomwalk.cover import estimate_cover_time
+from repro.randomwalk.ring_walk import RingRandomWalks
+from repro.randomwalk.visits import (
+    GapStatistics,
+    ring_walk_gap_statistics,
+)
+
+
+class TestEstimateCoverTime:
+    def test_deterministic_given_base_seed(self):
+        def factory(seed):
+            return RingRandomWalks(16, [0], seed=seed)
+
+        a = estimate_cover_time(factory, repetitions=5, base_seed=1)
+        b = estimate_cover_time(factory, repetitions=5, base_seed=1)
+        assert a.samples == b.samples
+
+    def test_repetition_count(self):
+        est = estimate_cover_time(
+            lambda seed: RingRandomWalks(12, [0], seed=seed), repetitions=7
+        )
+        assert est.summary.count == 7
+        assert len(est.samples) == 7
+
+    def test_ci_contains_mean(self):
+        est = estimate_cover_time(
+            lambda seed: RingRandomWalks(16, [0], seed=seed), repetitions=10
+        )
+        assert est.ci_low <= est.mean <= est.ci_high
+
+    def test_single_repetition_degenerate_ci(self):
+        est = estimate_cover_time(
+            lambda seed: RingRandomWalks(12, [0], seed=seed), repetitions=1
+        )
+        assert est.ci_low == est.ci_high == est.mean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_cover_time(lambda s: None, repetitions=0)
+
+    def test_works_with_deterministic_system(self):
+        from repro.core.ring import RingRotorRouter
+
+        est = estimate_cover_time(
+            lambda _seed: RingRotorRouter(12, [1] * 12, [0],
+                                          track_counts=False),
+            repetitions=3,
+        )
+        assert est.summary.std == 0.0
+
+
+class TestGapStatistics:
+    def test_from_visit_rounds(self):
+        stats = GapStatistics.from_visit_rounds(np.array([0, 3, 4, 10]))
+        assert stats.count == 3
+        assert stats.mean == pytest.approx((3 + 1 + 6) / 3)
+        assert stats.maximum == 6.0
+
+    def test_requires_two_visits(self):
+        with pytest.raises(ValueError):
+            GapStatistics.from_visit_rounds(np.array([5]))
+
+    def test_ring_gap_statistics_mean_near_fair_share(self):
+        n, k = 48, 4
+        stats = ring_walk_gap_statistics(
+            n, k, node=0, observation_rounds=400 * n, burn_in=4 * n, seed=0
+        )
+        assert abs(stats.mean - n / k) / (n / k) < 0.2
+
+    def test_max_far_exceeds_mean(self):
+        # The paper's §4 point: heavy upper tail for the walk.
+        n, k = 48, 4
+        stats = ring_walk_gap_statistics(
+            n, k, node=1, observation_rounds=600 * n, burn_in=4 * n, seed=1
+        )
+        assert stats.maximum > 4 * stats.mean

@@ -1,0 +1,133 @@
+"""Exact Markov computations vs closed forms and vs simulation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.families import clique, path_graph, star
+from repro.graphs.ring import ring_graph
+from repro.randomwalk.analytic import ring_cover_time_single, ring_hitting_time
+from repro.randomwalk.markov import (
+    cover_time_expectation_single,
+    expected_return_time,
+    hitting_times,
+    max_hitting_time,
+    stationary_distribution,
+    transition_matrix,
+)
+from repro.randomwalk.walker import ParallelRandomWalks
+from repro.util.stats import summarize
+
+
+class TestTransitionMatrix:
+    def test_row_stochastic(self):
+        p = transition_matrix(ring_graph(7))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_entries(self):
+        p = transition_matrix(ring_graph(5))
+        assert p[0, 1] == 0.5
+        assert p[0, 4] == 0.5
+        assert p[0, 2] == 0.0
+
+
+class TestHittingTimes:
+    def test_matches_ring_closed_form(self):
+        n = 12
+        h = hitting_times(ring_graph(n), target=0)
+        for d in range(n):
+            assert h[d] == pytest.approx(ring_hitting_time(n, d))
+
+    def test_clique_hitting(self):
+        # On K_n the hitting time to another node is n-1.
+        n = 8
+        h = hitting_times(clique(n), target=0)
+        for v in range(1, n):
+            assert h[v] == pytest.approx(n - 1)
+
+    def test_star_hitting(self):
+        # leaf -> center: 1; center -> given leaf: 2*leaves - 1.
+        g = star(5)
+        h_center = hitting_times(g, target=0)
+        assert h_center[1] == pytest.approx(1.0)
+        h_leaf = hitting_times(g, target=1)
+        assert h_leaf[0] == pytest.approx(2 * 5 - 1)
+
+    def test_max_hitting_ring(self):
+        n = 10
+        assert max_hitting_time(ring_graph(n)) == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hitting_times(ring_graph(5), 5)
+
+    def test_simulation_agrees(self):
+        g = path_graph(6)
+        h = hitting_times(g, target=5)
+        samples = []
+        for seed in range(300):
+            w = ParallelRandomWalks(g, [0], seed=seed)
+            t = 0
+            while w.positions[0] != 5:
+                w.step()
+                t += 1
+            samples.append(t)
+        assert abs(summarize(samples).mean - h[0]) / h[0] < 0.15
+
+
+class TestStationaryAndReturn:
+    def test_stationary_uniform_on_regular(self):
+        pi = stationary_distribution(ring_graph(9))
+        assert np.allclose(pi, 1.0 / 9.0)
+
+    def test_stationary_degree_weighted(self):
+        g = star(4)
+        pi = stationary_distribution(g)
+        assert pi[0] == pytest.approx(0.5)
+        assert pi[1] == pytest.approx(0.125)
+
+    def test_stationary_is_left_eigenvector(self):
+        g = path_graph(7)
+        pi = stationary_distribution(g)
+        p = transition_matrix(g)
+        assert np.allclose(pi @ p, pi)
+
+    def test_kac_formula(self):
+        g = star(4)
+        assert expected_return_time(g, 0) == pytest.approx(2.0)
+        assert expected_return_time(g, 1) == pytest.approx(8.0)
+
+    def test_kac_validation(self):
+        with pytest.raises(ValueError):
+            expected_return_time(ring_graph(5), 5)
+
+
+class TestExactCover:
+    def test_triangle(self):
+        # C_3 from any node: first step covers one new node; from there
+        # each step covers the last node w.p. 1/2: E = 1 + 2 = 3.
+        assert cover_time_expectation_single(
+            ring_graph(3), 0
+        ) == pytest.approx(3.0)
+
+    def test_matches_ring_formula(self):
+        for n in (4, 6, 8):
+            exact = cover_time_expectation_single(ring_graph(n), 0)
+            assert exact == pytest.approx(ring_cover_time_single(n))
+
+    def test_matches_simulation_on_star(self):
+        g = star(4)
+        exact = cover_time_expectation_single(g, 0)
+        samples = [
+            ParallelRandomWalks(g, [0], seed=s).run_until_covered(10 ** 6)
+            for s in range(400)
+        ]
+        mean = summarize(samples).mean
+        assert abs(mean - exact) / exact < 0.1
+
+    def test_size_cap(self):
+        with pytest.raises(ValueError):
+            cover_time_expectation_single(ring_graph(20), 0)
+
+    def test_start_validated(self):
+        with pytest.raises(ValueError):
+            cover_time_expectation_single(ring_graph(5), 9)

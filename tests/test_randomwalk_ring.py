@@ -1,0 +1,138 @@
+"""Tests for the vectorized ring random walks."""
+
+import numpy as np
+import pytest
+
+from repro.randomwalk.analytic import (
+    ring_cover_time_single,
+    ring_hitting_time,
+)
+from repro.randomwalk.ring_walk import RingRandomWalks
+from repro.util.stats import summarize
+
+
+class TestConstruction:
+    def test_min_ring(self):
+        with pytest.raises(ValueError):
+            RingRandomWalks(2, [0])
+
+    def test_requires_walkers(self):
+        with pytest.raises(ValueError):
+            RingRandomWalks(8, [])
+
+    def test_position_range(self):
+        with pytest.raises(ValueError):
+            RingRandomWalks(8, [8])
+
+    def test_block_size_validated(self):
+        with pytest.raises(ValueError):
+            RingRandomWalks(8, [0], block_size=0)
+
+
+class TestStepAndBlocks:
+    def test_single_step_moves_by_one(self):
+        w = RingRandomWalks(12, [5], seed=0)
+        w.step()
+        assert int(w.positions[0]) in (4, 6)
+
+    def test_block_and_step_runs_agree_statistically(self):
+        # Not bit-identical (different draw shapes), but displacement
+        # variance after T steps must be ~T for both.
+        n, trials, horizon = 1001, 200, 64
+        step_disp, block_disp = [], []
+        for t in range(trials):
+            ws = RingRandomWalks(n, [500], seed=t)
+            for _ in range(horizon):
+                ws.step()
+            step_disp.append(((int(ws.positions[0]) - 500 + n // 2) % n) - n // 2)
+            wb = RingRandomWalks(n, [500], seed=10_000 + t, block_size=16)
+            wb.run(horizon)
+            block_disp.append(((int(wb.positions[0]) - 500 + n // 2) % n) - n // 2)
+        var_step = float(np.var(step_disp))
+        var_block = float(np.var(block_disp))
+        assert 0.6 * horizon < var_step < 1.5 * horizon
+        assert 0.6 * horizon < var_block < 1.5 * horizon
+
+    def test_run_counts_rounds(self):
+        w = RingRandomWalks(20, [0], seed=1, block_size=7)
+        w.run(25)
+        assert w.round == 25
+
+    def test_first_visit_rounds_monotone_along_run(self):
+        w = RingRandomWalks(16, [0], seed=2, block_size=5)
+        w.run_until_covered(10 ** 6)
+        fv = w.first_visit
+        assert fv[0] == 0
+        assert np.all(fv >= 0)
+        assert int(fv.max()) == w.cover_round
+
+
+class TestCoverExtraction:
+    def test_cover_round_exact_within_block(self):
+        # The block version must report the exact first-cover round,
+        # not the block boundary: cross-check with a step-wise replay of
+        # the same generator draws is impossible (different shapes), so
+        # verify via internal consistency on many seeds.
+        for seed in range(20):
+            w = RingRandomWalks(12, [0], seed=seed, block_size=64)
+            cover = w.run_until_covered(10 ** 6)
+            assert cover == int(w.first_visit.max())
+            assert cover <= w.round
+            assert (w.round - cover) < 64  # found within the last block
+
+    def test_budget_raises(self):
+        w = RingRandomWalks(64, [0], seed=0, block_size=8)
+        with pytest.raises(RuntimeError):
+            w.run_until_covered(16)
+
+    def test_mean_single_cover_matches_formula(self):
+        # E[C] = n(n-1)/2 on the ring.
+        n, reps = 24, 60
+        samples = [
+            RingRandomWalks(n, [0], seed=s).run_until_covered(10 ** 7)
+            for s in range(reps)
+        ]
+        mean = summarize(samples).mean
+        expected = ring_cover_time_single(n)
+        assert abs(mean - expected) / expected < 0.25
+
+    def test_mean_hitting_time_matches_formula(self):
+        # E[T_hit(d)] = d(n-d): measure via first_visit of the node at
+        # distance d.
+        n, d, reps = 32, 8, 80
+        samples = []
+        for s in range(reps):
+            w = RingRandomWalks(n, [0], seed=1000 + s)
+            w.run_until_covered(10 ** 7)
+            samples.append(int(w.first_visit[d]))
+        mean = summarize(samples).mean
+        expected = ring_hitting_time(n, d)
+        assert abs(mean - expected) / expected < 0.3
+
+
+class TestVisitRounds:
+    def test_visit_rounds_are_when_some_walker_is_there(self):
+        w = RingRandomWalks(10, [0, 5], seed=4, block_size=8)
+        hits = w.visit_rounds_of(3, rounds=200)
+        assert np.all(hits >= 1)
+        assert np.all(hits <= 200)
+        assert np.all(np.diff(hits) >= 1)
+
+    def test_mean_gap_near_n_over_k(self):
+        n, k = 40, 4
+        from repro.core.placement import equally_spaced
+
+        w = RingRandomWalks(n, equally_spaced(n, k), seed=6)
+        w.run(200)  # settle
+        hits = w.visit_rounds_of(0, rounds=1200 * n)
+        gaps = np.diff(hits)
+        # The mean sits slightly above n/k (simultaneous visits by two
+        # walkers collapse into one visit round); allow 25%.
+        assert abs(float(gaps.mean()) - n / k) / (n / k) < 0.25
+
+    def test_validation(self):
+        w = RingRandomWalks(10, [0], seed=0)
+        with pytest.raises(ValueError):
+            w.visit_rounds_of(10, 5)
+        with pytest.raises(ValueError):
+            w.visit_rounds_of(0, -1)

@@ -1,0 +1,84 @@
+"""Tests for general-graph parallel random walks."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.families import clique, grid_2d
+from repro.graphs.ring import ring_graph
+from repro.randomwalk.walker import ParallelRandomWalks
+from repro.util.stats import summarize
+
+
+class TestConstruction:
+    def test_requires_walkers(self):
+        with pytest.raises(ValueError):
+            ParallelRandomWalks(ring_graph(5), [])
+
+    def test_position_range_checked(self):
+        with pytest.raises(ValueError):
+            ParallelRandomWalks(ring_graph(5), [5])
+
+    def test_initial_cover_state(self):
+        w = ParallelRandomWalks(ring_graph(4), [0, 1, 2, 3], seed=0)
+        assert w.cover_round == 0
+
+
+class TestStepping:
+    def test_moves_to_neighbors(self):
+        w = ParallelRandomWalks(ring_graph(10), [5], seed=1)
+        for _ in range(50):
+            before = w.positions[0]
+            w.step()
+            after = w.positions[0]
+            assert after in ring_graph(10).neighbors(before)
+
+    def test_deterministic_given_seed(self):
+        a = ParallelRandomWalks(grid_2d(4, 4), [0, 5], seed=9)
+        b = ParallelRandomWalks(grid_2d(4, 4), [0, 5], seed=9)
+        a.run(30)
+        b.run(30)
+        assert a.positions == b.positions
+
+    def test_walker_count_constant(self):
+        w = ParallelRandomWalks(clique(6), [0, 0, 3], seed=2)
+        w.run(20)
+        assert len(w.positions) == 3
+
+    def test_run_negative_rejected(self):
+        w = ParallelRandomWalks(ring_graph(5), [0], seed=0)
+        with pytest.raises(ValueError):
+            w.run(-1)
+
+
+class TestCover:
+    def test_covers_small_graph(self):
+        w = ParallelRandomWalks(ring_graph(8), [0], seed=3)
+        cover = w.run_until_covered(100_000)
+        assert cover > 0
+        assert w.unvisited == 0
+
+    def test_budget_raises(self):
+        w = ParallelRandomWalks(ring_graph(30), [0], seed=3)
+        with pytest.raises(RuntimeError):
+            w.run_until_covered(3)
+
+    def test_more_walkers_cover_faster_on_average(self):
+        def mean_cover(k, reps=12):
+            samples = []
+            for rep in range(reps):
+                w = ParallelRandomWalks(
+                    ring_graph(24), [0] * k, seed=1000 * k + rep
+                )
+                samples.append(w.run_until_covered(10 ** 6))
+            return summarize(samples).mean
+
+        assert mean_cover(4) < mean_cover(1)
+
+    def test_uniform_visits_in_stationarity(self):
+        # The ring walk's stationary distribution is uniform.
+        n = 16
+        w = ParallelRandomWalks(ring_graph(n), [0], seed=5)
+        w.run(40_000)
+        counts = w.visit_counts.astype(float)
+        counts /= counts.sum()
+        assert float(np.abs(counts - 1.0 / n).max()) < 0.02

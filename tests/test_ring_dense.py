@@ -1,0 +1,67 @@
+"""The dense ring engine must match the sparse one exactly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ring import RingRotorRouter
+from repro.core.ring_dense import DenseRingRotorRouter
+
+
+@st.composite
+def ring_setup(draw):
+    n = draw(st.integers(3, 40))
+    k = draw(st.integers(1, 2 * n))  # dense regimes included
+    dirs = draw(st.lists(st.sampled_from((1, -1)), min_size=n, max_size=n))
+    agents = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    rounds = draw(st.integers(1, 80))
+    return n, dirs, agents, rounds
+
+
+class TestEquivalence:
+    @given(ring_setup())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_sparse_engine(self, setup):
+        n, dirs, agents, rounds = setup
+        sparse = RingRotorRouter(n, list(dirs), agents, track_counts=False)
+        dense = DenseRingRotorRouter(n, list(dirs), agents)
+        for _ in range(rounds):
+            sparse.step()
+            dense.step()
+            assert sparse.positions() == dense.positions()
+            assert list(sparse.ptr) == [int(d) for d in dense.ptr]
+        assert sparse.unvisited == dense.unvisited
+
+    @given(ring_setup())
+    @settings(max_examples=20, deadline=None)
+    def test_cover_times_match(self, setup):
+        n, dirs, agents, _ = setup
+        budget = 8 * n * n + 64
+        sparse = RingRotorRouter(n, list(dirs), agents, track_counts=False)
+        dense = DenseRingRotorRouter(n, list(dirs), agents)
+        assert sparse.run_until_covered(budget) == \
+            dense.run_until_covered(budget)
+
+
+class TestValidation:
+    def test_min_size(self):
+        with pytest.raises(ValueError):
+            DenseRingRotorRouter(2, [1, 1], [0])
+
+    def test_pointer_values(self):
+        with pytest.raises(ValueError):
+            DenseRingRotorRouter(4, [1, 0, 1, 1], [0])
+
+    def test_agents_required(self):
+        with pytest.raises(ValueError):
+            DenseRingRotorRouter(4, [1] * 4, [])
+
+    def test_budget(self):
+        e = DenseRingRotorRouter(32, [1] * 32, [0])
+        with pytest.raises(RuntimeError):
+            e.run_until_covered(3)
+
+    def test_token_conservation_dense_regime(self):
+        e = DenseRingRotorRouter(8, [1] * 8, [0] * 100)
+        e.run(50)
+        assert sum(e.counts) == 100

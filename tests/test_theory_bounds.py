@@ -1,0 +1,76 @@
+"""Tests for the Θ-shape normalization formulas."""
+
+import math
+
+import pytest
+
+from repro.theory import bounds
+
+
+class TestShapes:
+    def test_rotor_cover_worst(self):
+        assert bounds.rotor_cover_worst(100, 1) == 10_000.0
+        assert bounds.rotor_cover_worst(100, 8) == pytest.approx(
+            10_000 / math.log(8)
+        )
+
+    def test_rotor_cover_best(self):
+        assert bounds.rotor_cover_best(100, 10) == pytest.approx(100.0)
+
+    def test_return_time(self):
+        assert bounds.rotor_return_time(120, 6) == 20.0
+
+    def test_walk_k1_is_exact_expectation(self):
+        assert bounds.walk_cover_worst(10, 1) == 45.0
+        assert bounds.walk_cover_best(10, 1) == 45.0
+
+    def test_walk_best_shape(self):
+        assert bounds.walk_cover_best(100, 10) == pytest.approx(
+            100.0 * math.log(10) ** 2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bounds.rotor_cover_worst(2, 1)
+        with pytest.raises(ValueError):
+            bounds.rotor_cover_best(10, 0)
+
+
+class TestSpeedups:
+    def test_worst_speedup_log(self):
+        assert bounds.rotor_speedup_worst(1) == 1.0
+        assert bounds.rotor_speedup_worst(8) == pytest.approx(math.log(8))
+
+    def test_best_speedup_quadratic(self):
+        assert bounds.rotor_speedup_best(5) == 25.0
+
+    def test_walk_best_speedup(self):
+        assert bounds.walk_speedup_best(1) == 1.0
+        assert bounds.walk_speedup_best(10) == pytest.approx(
+            100.0 / math.log(10) ** 2
+        )
+
+    def test_ordering_rotor_beats_walk_best(self):
+        # Holds for k >= 3 (ln k >= 1); at k = 2 the normalization
+        # ln²2 < 1 flips the raw formulas, which is fine: they are
+        # shapes, not pointwise claims.
+        for k in (3, 4, 8, 16, 64):
+            assert bounds.rotor_speedup_best(k) >= bounds.walk_speedup_best(k)
+
+
+class TestRegime:
+    def test_max_k(self):
+        n = 2 ** 22  # 4M: n^(1/11) = 4
+        k = bounds.paper_regime_max_k(n)
+        assert k ** 11 < n
+        assert (k + 1) ** 11 >= n
+
+    def test_small_n(self):
+        assert bounds.paper_regime_max_k(100) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bounds.paper_regime_max_k(2)
+
+    def test_harmonic(self):
+        assert bounds.harmonic_number(4) == pytest.approx(25.0 / 12.0)

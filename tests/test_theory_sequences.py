@@ -1,0 +1,97 @@
+"""Lemma 13: all six properties of the profile sequence, executable."""
+
+import math
+
+import pytest
+
+from repro.theory.bounds import harmonic_number
+from repro.theory.sequences import solve_profile
+
+KS = [4, 5, 6, 8, 10, 16, 32, 64, 128]
+
+
+class TestLemma13Properties:
+    @pytest.mark.parametrize("k", KS)
+    def test_property1_a0_infinite(self, k):
+        assert math.isinf(solve_profile(k).a[0])
+
+    @pytest.mark.parametrize("k", KS)
+    def test_property2_strictly_decreasing(self, k):
+        a = solve_profile(k).a
+        for i in range(1, k):
+            assert a[i] > a[i + 1], f"a_{i} <= a_{i+1}"
+
+    @pytest.mark.parametrize("k", KS)
+    def test_property2_tail_equality(self, k):
+        # a_{k+1} = a_k: encoded via b_{k+1} = b_k.
+        profile = solve_profile(k)
+        assert profile.b[k + 1] == pytest.approx(profile.b[k], rel=1e-9)
+
+    @pytest.mark.parametrize("k", KS)
+    def test_property3_sums_to_one(self, k):
+        assert sum(solve_profile(k).a[1:]) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("k", KS)
+    def test_property4_recurrence(self, k):
+        profile = solve_profile(k)
+        for i in range(1, k + 1):
+            assert abs(profile.residual(i)) < 1e-6
+
+    @pytest.mark.parametrize("k", KS)
+    def test_property5_a1_bounds(self, k):
+        a1 = solve_profile(k).a[1]
+        h_k = harmonic_number(k)
+        assert 1.0 / (4.0 * (h_k + 1.0)) <= a1 <= 1.0 / h_k
+
+    @pytest.mark.parametrize("k", KS)
+    def test_property6_ai_lower_bound(self, k):
+        profile = solve_profile(k)
+        h_k = harmonic_number(k)
+        for i in range(1, k + 1):
+            assert profile.a[i] >= 1.0 / (4.0 * i * (h_k + 1.0))
+
+
+class TestSolver:
+    def test_requires_k_above_3(self):
+        with pytest.raises(ValueError):
+            solve_profile(3)
+
+    def test_c_squared_in_proof_bracket(self):
+        for k in (6, 20, 100):
+            c = solve_profile(k).c
+            h_k = harmonic_number(k)
+            assert h_k <= c * c <= 4.0 * (h_k + 1.0)
+
+    def test_b_increasing(self):
+        profile = solve_profile(12)
+        for i in range(12):
+            assert profile.b[i] < profile.b[i + 1] + 1e-12
+
+    def test_position_fractions(self):
+        profile = solve_profile(8)
+        p = profile.p
+        assert p[1] == pytest.approx(1.0, abs=1e-9)  # frontier
+        assert p[8] == pytest.approx(profile.a[8], abs=1e-12)
+        for i in range(1, 8):
+            assert p[i] > p[i + 1]
+
+    def test_residual_index_validated(self):
+        profile = solve_profile(6)
+        with pytest.raises(ValueError):
+            profile.residual(0)
+        with pytest.raises(ValueError):
+            profile.residual(7)
+
+    def test_cached(self):
+        assert solve_profile(10) is solve_profile(10)
+
+    def test_profile_approximates_one_over_i_times_hk(self):
+        # The paper's asymptotic reading: a_i ~ 1/(i·H_k) up to
+        # constants.  Check the ratio stays in a modest band.
+        k = 64
+        profile = solve_profile(k)
+        h_k = harmonic_number(k)
+        ratios = [
+            profile.a[i] * i * h_k for i in (1, 2, 4, 8, 16, 32, 64)
+        ]
+        assert max(ratios) / min(ratios) < 6.0

@@ -1,0 +1,127 @@
+"""The appendix token game: invariants under arbitrary legal play."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory.token_game import (
+    IllegalMoveError,
+    TokenGame,
+    play_draining_adversary,
+    play_move_sequence,
+    play_random_adversary,
+)
+
+
+class TestRules:
+    def test_initial_state(self):
+        game = TokenGame(4, 100)
+        assert game.heights == [100, 100, 100, 100]
+        assert game.moves_played == 0
+
+    def test_legal_within_margin(self):
+        game = TokenGame(3, 10)
+        assert game.is_legal(0, 1)  # equal heights: legal
+        game.heights = [10, 18, 10]
+        assert game.is_legal(0, 1)  # 18 <= 10 + 8
+        game.heights = [10, 19, 10]
+        assert not game.is_legal(0, 1)  # 19 > 18
+
+    def test_empty_source_illegal(self):
+        game = TokenGame(3, 10)
+        game.heights = [0, 10, 10]
+        assert not game.is_legal(0, 1)
+
+    def test_self_move_illegal(self):
+        game = TokenGame(3, 10)
+        assert not game.is_legal(1, 1)
+
+    def test_out_of_range_illegal(self):
+        game = TokenGame(3, 10)
+        assert not game.is_legal(0, 3)
+        assert not game.is_legal(-1, 0)
+
+    def test_move_applies(self):
+        game = TokenGame(2, 5)
+        game.move(0, 1)
+        assert game.heights == [4, 6]
+        assert game.moves_played == 1
+
+    def test_illegal_move_raises(self):
+        game = TokenGame(2, 5)
+        game.heights = [1, 12]
+        with pytest.raises(IllegalMoveError):
+            game.move(0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenGame(1, 10)
+        with pytest.raises(ValueError):
+            TokenGame(3, -1)
+
+    def test_legal_moves_enumeration(self):
+        game = TokenGame(2, 3)
+        assert sorted(game.legal_moves()) == [(0, 1), (1, 0)]
+
+
+class TestInvariants:
+    def test_claim_bound_value(self):
+        game = TokenGame(6, 100)
+        assert game.claim_lower_bound() == 100 - 30 + 5
+
+    def test_partial_sum_bound_k_is_total(self):
+        game = TokenGame(5, 40)
+        # y_k bound equals the conserved total: eta*k + 5k*k - 5k^2.
+        assert game.partial_sum_bound(5) == 200
+
+    @given(
+        st.integers(2, 6),
+        st.integers(30, 80),
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            min_size=0,
+            max_size=300,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_under_arbitrary_legal_play(self, k, eta, sequence):
+        game = TokenGame(k, eta)
+        play_move_sequence(game, sequence)
+        assert game.claim_holds()
+        assert game.partial_sums_hold()
+        assert sum(game.heights) == k * eta  # conservation
+
+    def test_random_adversary_respects_claim(self):
+        game = TokenGame(8, 120)
+        played = play_random_adversary(game, 4000, seed=3)
+        assert played == 4000
+        assert game.claim_holds()
+        assert game.partial_sums_hold()
+
+    def test_draining_adversary_respects_claim(self):
+        game = TokenGame(8, 120)
+        play_draining_adversary(game, 4000)
+        assert game.claim_holds()
+        assert game.partial_sums_hold()
+
+    def test_draining_adversary_is_tightish(self):
+        # The adversary should actually push the minimum well below the
+        # starting height (the claim is not vacuous).
+        game = TokenGame(10, 200)
+        play_draining_adversary(game, 20_000)
+        assert game.min_height() < 200 - 5
+        assert game.min_height() >= game.claim_lower_bound()
+
+    def test_play_move_sequence_skips_illegal(self):
+        game = TokenGame(2, 2)
+        game.heights = [0, 4]
+        played = play_move_sequence(game, [(0, 1), (1, 0)])
+        assert played == 1  # only the legal one
+        assert game.heights == [1, 3]
+
+    def test_index_validation(self):
+        game = TokenGame(3, 10)
+        with pytest.raises(ValueError):
+            game.sum_of_largest(0)
+        with pytest.raises(ValueError):
+            game.partial_sum_bound(4)

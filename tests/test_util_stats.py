@@ -1,0 +1,112 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    bootstrap_ci,
+    geometric_mean,
+    max_abs_deviation_ratio,
+    normal_ci,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_singleton(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+        assert s.sem() == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_mean_within_bounds(self, values):
+        s = summarize(values)
+        assert s.minimum - 1e-9 <= s.mean <= s.maximum + 1e-9
+
+
+class TestNormalCi:
+    def test_contains_mean(self):
+        low, high = normal_ci([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert low <= 3.0 <= high
+
+    def test_widens_with_confidence(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low90, high90 = normal_ci(data, 0.90)
+        low99, high99 = normal_ci(data, 0.99)
+        assert high99 - low99 > high90 - low90
+
+    def test_nonstandard_confidence_uses_scipy(self):
+        low, high = normal_ci([1.0, 2.0, 3.0], 0.85)
+        assert low < 2.0 < high
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            normal_ci([1.0, 2.0], 1.5)
+
+
+class TestBootstrapCi:
+    def test_contains_mean_for_symmetric_data(self):
+        data = [float(i) for i in range(20)]
+        low, high = bootstrap_ci(data, seed=1)
+        assert low <= 9.5 <= high
+
+    def test_singleton_degenerate(self):
+        assert bootstrap_ci([5.0]) == (5.0, 5.0)
+
+    def test_deterministic_given_seed(self):
+        data = [1.0, 5.0, 2.0, 8.0, 3.0]
+        assert bootstrap_ci(data, seed=3) == bootstrap_ci(data, seed=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    def test_log_identity(self):
+        values = [2.0, 8.0, 4.0]
+        expected = math.exp(sum(math.log(v) for v in values) / 3)
+        assert geometric_mean(values) == pytest.approx(expected)
+
+
+class TestDeviationRatio:
+    def test_flat_is_one(self):
+        assert max_abs_deviation_ratio([3.0, 3.0, 3.0]) == 1.0
+
+    def test_ratio(self):
+        assert max_abs_deviation_ratio([2.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            max_abs_deviation_ratio([1.0, -1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            max_abs_deviation_ratio([])

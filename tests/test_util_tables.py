@@ -1,0 +1,70 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import Table, format_table
+
+
+class TestTable:
+    def test_add_and_render(self):
+        table = Table(columns=["a", "b"], caption="demo")
+        table.add_row(1, 2)
+        table.add_row(30, 40)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "30" in text and "40" in text
+
+    def test_row_width_checked(self):
+        table = Table(columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_formats_applied(self):
+        table = Table(columns=["x"], formats=[".2f"])
+        table.add_row(3.14159)
+        assert "3.14" in table.render()
+        assert "3.14159" not in table.render()
+
+    def test_none_rendered_as_dash(self):
+        table = Table(columns=["x"])
+        table.add_row(None)
+        assert "-" in table.render().splitlines()[-1]
+
+    def test_column_extraction(self):
+        table = Table(columns=["k", "v"])
+        table.add_row(1, "a")
+        table.add_row(2, "b")
+        assert table.column("k") == [1, 2]
+        assert table.column("v") == ["a", "b"]
+
+    def test_column_missing_raises(self):
+        table = Table(columns=["k"])
+        with pytest.raises(KeyError):
+            table.column("nope")
+
+    def test_alignment(self):
+        table = Table(columns=["col"])
+        table.add_row(1)
+        table.add_row(1000)
+        body = table.render().splitlines()
+        assert len(body[-1]) == len(body[-2])  # right-aligned same width
+
+
+class TestFormatTable:
+    def test_no_caption(self):
+        text = format_table(["h"], [[1]])
+        assert text.splitlines()[0].strip() == "h"
+
+    def test_format_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [], formats=[None])
+
+    def test_bad_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_string_cells_ignore_formats(self):
+        text = format_table(["a"], [["hello"]], formats=[".2f"])
+        assert "hello" in text

@@ -1,0 +1,32 @@
+"""Tests for repro.util.timing."""
+
+import pytest
+
+from repro.util.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.elapsed
+        with watch:
+            pass
+        assert watch.elapsed >= first >= 0.0
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
