@@ -1,14 +1,21 @@
-"""Command-line interface: run any reproduction experiment.
+"""Command-line interface: run any reproduction experiment or sweep.
 
-Usage (after ``pip install -e .``)::
+Usage (after ``pip install -e .``, which also installs the ``repro``
+console script)::
 
-    python -m repro list                 # what can be run
+    python -m repro list                 # experiments + sweep scenarios
     python -m repro run table1           # one experiment, full size
     python -m repro run theorem6 --csv out/   # also save CSVs
     python -m repro all                  # everything (long)
+    python -m repro sweep table1 --jobs 4     # declarative cached sweep
+    python -m repro sweep stabilization --quick --cache out/cache
 
-The CLI is a thin dispatcher over :mod:`repro.experiments`; every
+``run`` is a thin dispatcher over :mod:`repro.experiments`; every
 experiment module's ``run_*`` defaults define its "full size".
+``sweep`` executes a registered :mod:`repro.sweep` scenario through
+the batched kernel and the parallel executor; results land in an
+on-disk JSON cache (default ``.sweep-cache``), so repeating or
+resuming a sweep only computes the missing cells.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ import sys
 from typing import Callable
 
 from repro.experiments.harness import Report
+
+DEFAULT_SWEEP_CACHE = ".sweep-cache"
 
 EXPERIMENTS: dict[str, tuple[str, str]] = {
     # name -> (module, description)
@@ -83,9 +92,17 @@ def _reports_of(module_name: str) -> list[Report]:
 
 
 def _cmd_list() -> int:
-    width = max(len(name) for name in EXPERIMENTS)
+    from repro.sweep import registry
+
+    names = list(EXPERIMENTS) + registry.scenario_names()
+    width = max(len(name) for name in names)
+    print("experiments (python -m repro run <name>):")
     for name, (_, description) in EXPERIMENTS.items():
         print(f"  {name:<{width}}  {description}")
+    print()
+    print("sweep scenarios (python -m repro sweep <name>):")
+    for name in registry.scenario_names():
+        print(f"  {name:<{width}}  {registry.scenario_description(name)}")
     return 0
 
 
@@ -100,6 +117,45 @@ def _cmd_run(name: str, csv_dir: str | None) -> int:
         if csv_dir:
             for path in report.save_csv(csv_dir):
                 print(f"wrote {path}")
+    return 0
+
+
+def _cmd_sweep(
+    name: str,
+    jobs: int,
+    cache_dir: str | None,
+    quick: bool,
+    csv_dir: str | None,
+) -> int:
+    from repro.sweep import registry
+    from repro.sweep.executor import run_sweep, stderr_progress
+
+    try:
+        spec = registry.scenario(name, quick=quick)
+    except KeyError:
+        print(
+            f"unknown sweep scenario {name!r}; try 'list'", file=sys.stderr
+        )
+        return 2
+    result = run_sweep(
+        spec, jobs=jobs, cache_dir=cache_dir, progress=stderr_progress
+    )
+    report = Report(
+        title=f"sweep '{name}'"
+        + (" (quick)" if quick else "")
+        + f" — spec {spec.spec_hash[:12]}",
+        claim=spec.description,
+    )
+    report.add_table(result.table())
+    report.add_note(
+        f"{result.cache_hits} cells from cache, {result.cache_misses} "
+        f"computed in {result.elapsed:.2f}s "
+        f"(jobs={jobs}, cache={cache_dir or 'disabled'})"
+    )
+    print(report.render())
+    if csv_dir:
+        for path in report.save_csv(csv_dir):
+            print(f"wrote {path}")
     return 0
 
 
@@ -128,11 +184,34 @@ def main(argv: list[str] | None = None) -> int:
     all_parser.add_argument(
         "--csv", metavar="DIR", default=None, help="also save CSV tables"
     )
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a registered sweep scenario (cached, parallel)"
+    )
+    sweep_parser.add_argument("name", help="scenario name (see 'list')")
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default: 1, serial)",
+    )
+    sweep_parser.add_argument(
+        "--cache", metavar="DIR", default=DEFAULT_SWEEP_CACHE,
+        help=f"result cache directory (default: {DEFAULT_SWEEP_CACHE}); "
+        "'none' disables caching",
+    )
+    sweep_parser.add_argument(
+        "--quick", action="store_true",
+        help="scaled-down grid (CI smoke size)",
+    )
+    sweep_parser.add_argument(
+        "--csv", metavar="DIR", default=None, help="also save CSV tables"
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args.name, args.csv)
+    if args.command == "sweep":
+        cache_dir = None if args.cache == "none" else args.cache
+        return _cmd_sweep(args.name, args.jobs, cache_dir, args.quick, args.csv)
     return _cmd_all(args.csv)
 
 

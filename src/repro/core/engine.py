@@ -34,6 +34,19 @@ Move = tuple[int, int, int]
 """One aggregated agent movement: ``(source, destination, agent_count)``."""
 
 
+def configuration_key(pointers, counts) -> bytes:
+    """Compact configuration identity (pointers + agent multiset).
+
+    The single definition of configuration equality shared by the live
+    engine and by snapshots: agents are indistinguishable, so the
+    counts vector plus the pointer vector determine the configuration.
+    """
+    return (
+        np.asarray(pointers, dtype=np.int64).tobytes()
+        + np.asarray(counts, dtype=np.int64).tobytes()
+    )
+
+
 @dataclass(frozen=True)
 class EngineState:
     """An immutable snapshot of the dynamic engine state.
@@ -54,8 +67,7 @@ class EngineState:
 
     @property
     def key(self) -> bytes:
-        return np.asarray(self.pointers, dtype=np.int64).tobytes() + \
-            np.asarray(self.counts, dtype=np.int64).tobytes()
+        return configuration_key(self.pointers, self.counts)
 
 
 class MultiAgentRotorRouter:
@@ -216,11 +228,13 @@ class MultiAgentRotorRouter:
         return result
 
     def state_key(self) -> bytes:
-        """Compact configuration identity (pointers + agent multiset)."""
-        return (
-            np.asarray(self.pointers, dtype=np.int64).tobytes()
-            + self.counts.tobytes()
-        )
+        """Compact configuration identity (pointers + agent multiset).
+
+        Shares :func:`configuration_key` with :attr:`EngineState.key`
+        so engine and limit-cycle detection agree on one definition —
+        without materializing a snapshot in Brent's inner loop.
+        """
+        return configuration_key(self.pointers, self.counts)
 
     def snapshot(self) -> EngineState:
         return EngineState(

@@ -1,0 +1,49 @@
+"""Sweep orchestration: declarative scenarios over batched ring kernels.
+
+The subsystem turns one-off experiment scripts into declarative,
+cached, parallel parameter sweeps:
+
+- :mod:`repro.sweep.spec` — the grid language
+  (:class:`ScenarioSpec` -> :class:`SweepConfig` cells with
+  deterministic hashes);
+- :mod:`repro.sweep.batch_ring` — the vectorized ``(B, n)`` kernel
+  stepping many independent ring configurations per numpy op, with
+  per-lane cover/stabilization/return detection;
+- :mod:`repro.sweep.executor` — multiprocessing execution with an
+  on-disk JSON result cache;
+- :mod:`repro.sweep.registry` — named scenarios behind
+  ``python -m repro sweep <name>``.
+"""
+
+from repro.sweep.batch_ring import (
+    BatchLimitCycles,
+    BatchRingKernel,
+    batch_limit_cycles,
+    batch_return_gaps,
+    lanes_from_configs,
+)
+from repro.sweep.executor import (
+    ConfigResult,
+    ResultCache,
+    SweepResult,
+    run_sweep,
+)
+from repro.sweep.registry import scenario, scenario_names
+from repro.sweep.spec import InitFamily, ScenarioSpec, SweepConfig
+
+__all__ = [
+    "BatchLimitCycles",
+    "BatchRingKernel",
+    "batch_limit_cycles",
+    "batch_return_gaps",
+    "lanes_from_configs",
+    "ConfigResult",
+    "ResultCache",
+    "SweepResult",
+    "run_sweep",
+    "scenario",
+    "scenario_names",
+    "InitFamily",
+    "ScenarioSpec",
+    "SweepConfig",
+]

@@ -1,0 +1,564 @@
+"""Vectorized batch ring kernel: many rotor-router lanes per numpy op.
+
+Sweeps spend their time stepping thousands of *independent* ring
+configurations, so instead of vectorizing one configuration (the
+:class:`repro.core.ring_dense.DenseRingRotorRouter` design) this kernel
+stacks ``B`` of them into ``(B, n)`` arrays and advances all lanes with
+one fixed sequence of numpy operations per round.
+
+The ring's degree-2 structure makes the round-robin rule branch-free.
+Storing the pointer as a bit ``p`` (1 = clockwise, 0 = anticlockwise)
+instead of a +/-1 direction:
+
+* clockwise exits  ``fwd = (c + p) >> 1``  (ceil(c/2) when the pointer
+  is clockwise, floor(c/2) otherwise),
+* anticlockwise exits ``bwd = c - fwd``,
+* arrivals ``a(v) = fwd(v-1) + bwd(v+1)``,
+* pointer flip iff ``c`` is odd: ``p ^= c & 1`` — fused here as
+  ``p = (p ^ c) & 1`` since ``p`` is a bit.
+
+Counts are bounded by the lane's agent count ``k``, so the dtype is
+chosen per batch (int8 up to k=126, int16 up to k=32766, else int64)
+— the dominant cost is memory traffic and halving the element width
+roughly doubles the throughput.  All buffers are preallocated and the
+arrival computation writes straight into the double buffer, so a round
+is allocation-free.
+
+Per-lane detection built on top of the kernel:
+
+* **cover** — ``cover_rounds[b]`` records the round lane ``b`` first
+  had every node visited (visits = agent arrivals, initial occupancy
+  counts at round 0).  Single ``step`` calls track this exactly; the
+  bulk drivers (``run`` / ``run_until_covered``) instead advance in
+  windows with a one-op visited accumulator (``seen |= counts``),
+  reconcile per-lane unvisited counts once per window, and pin exact
+  cover rounds by replaying just-covered lanes from the window's
+  snapshot — per-lane reductions are ~10x the cost of the element-wise
+  round itself, so they must stay off the per-step path;
+* **stabilization** — :func:`batch_limit_cycles` runs Brent's
+  cycle-finding with shared vectorized stepping and per-lane
+  bookkeeping over configuration keys;
+* **return times** — :func:`batch_return_gaps` scans one limit-cycle
+  period per lane (lanes with shorter periods are frozen via the
+  ``lane_mask`` argument of :meth:`BatchRingKernel.step`) and records
+  the worst per-node visit gap including the wrap-around gap, exactly
+  as :func:`repro.core.limit.return_time_exact`.
+
+Step-for-step equivalence with the reference engines is enforced by
+``tests/test_sweep_batch_ring.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_DTYPE_LIMITS = ((np.int8, 126), (np.int16, 32766), (np.int64, 2**62))
+
+
+def _counts_dtype(max_agents: int) -> type:
+    """Smallest signed dtype holding ``c + 1`` for every count ``c``."""
+    for dtype, limit in _DTYPE_LIMITS:
+        if max_agents <= limit:
+            return dtype
+    raise ValueError(f"batch kernel supports at most 2^62 agents, got {max_agents}")
+
+
+class BatchRingKernel:
+    """``B`` independent k-agent rotor-routers on n-rings, stepped together.
+
+    Parameters
+    ----------
+    n:
+        Ring size shared by every lane (>= 3).
+    pointers:
+        ``(B, n)`` array-like of initial directions, +1 (clockwise) or
+        -1 per node, one row per lane.
+    counts:
+        ``(B, n)`` array-like of initial agent counts per node; every
+        lane needs at least one agent.
+    track_cover:
+        Maintain per-lane visited sets and ``cover_rounds``.  Turn off
+        for limit-cycle searches, which only need the configuration.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        pointers: np.ndarray,
+        counts: np.ndarray,
+        track_cover: bool = True,
+    ) -> None:
+        if n < 3:
+            raise ValueError(f"ring requires n >= 3, got {n}")
+        directions = np.asarray(pointers)
+        initial = np.asarray(counts)
+        if directions.ndim != 2 or directions.shape[1] != n:
+            raise ValueError(
+                f"pointers must have shape (B, {n}), got {directions.shape}"
+            )
+        if initial.shape != directions.shape:
+            raise ValueError(
+                f"counts shape {initial.shape} does not match pointers "
+                f"shape {directions.shape}"
+            )
+        if not np.all((directions == 1) | (directions == -1)):
+            raise ValueError("pointers must be +1 or -1")
+        if np.any(initial < 0):
+            raise ValueError("counts must be non-negative")
+        per_lane = initial.sum(axis=1)
+        if np.any(per_lane < 1):
+            raise ValueError("every lane requires at least one agent")
+
+        self.n = n
+        self.num_lanes = directions.shape[0]
+        self.num_agents = per_lane.astype(np.int64)
+        self.round = 0
+
+        dtype = _counts_dtype(int(per_lane.max()))
+        # Pointer bit: 1 = clockwise (+1), 0 = anticlockwise (-1).
+        self._ptr = (directions == 1).astype(dtype)
+        self._counts = initial.astype(dtype)
+        self._next = np.empty_like(self._counts)
+        self._fwd = np.empty_like(self._counts)
+        self._bwd = np.empty_like(self._counts)
+
+        self._track_cover = bool(track_cover)
+        self.cover_rounds = np.full(self.num_lanes, -1, dtype=np.int64)
+        if self._track_cover:
+            # Visited accumulator: ``seen |= counts`` each round keeps
+            # a cell nonzero iff its node was ever occupied — one
+            # element-wise op per round, no comparison or temporary.
+            self._seen = self._counts.copy()
+            self._unvisited = n - np.count_nonzero(self._seen, axis=1)
+            self.cover_rounds[self._unvisited == 0] = 0
+            self._all_covered = bool((self.cover_rounds >= 0).all())
+        else:
+            self._seen = None
+            self._unvisited = None
+            self._all_covered = True
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def _step_arith(self) -> None:
+        """One round of the rotor-router arithmetic, no cover tracking."""
+        c, p = self._counts, self._ptr
+        fwd, bwd, nxt = self._fwd, self._bwd, self._next
+        np.add(c, p, out=fwd)
+        np.right_shift(fwd, 1, out=fwd)
+        np.subtract(c, fwd, out=bwd)
+        np.bitwise_xor(p, c, out=p)
+        np.bitwise_and(p, 1, out=p)
+        # arrivals(v) = fwd(v-1) + bwd(v+1), written into the back buffer
+        np.add(fwd[:, :-2], bwd[:, 2:], out=nxt[:, 1:-1])
+        np.add(fwd[:, -1], bwd[:, 1], out=nxt[:, 0])
+        np.add(fwd[:, -2], bwd[:, 0], out=nxt[:, -1])
+        self._counts, self._next = nxt, self._counts
+        self.round += 1
+
+    def _step_arith_subset(self, active: np.ndarray) -> None:
+        """Advance only the ``active`` lanes (cost proportional to them).
+
+        Used by the masked schedules of the limit-cycle search and the
+        gap scan, where most lanes end up frozen: the frozen majority
+        is never touched, instead of being snapshotted and restored.
+        """
+        c = self._counts[active]
+        p = self._ptr[active]
+        fwd = (c + p) >> 1
+        bwd = c - fwd
+        nxt = np.empty_like(c)
+        nxt[:, 1:-1] = fwd[:, :-2] + bwd[:, 2:]
+        nxt[:, 0] = fwd[:, -1] + bwd[:, 1]
+        nxt[:, -1] = fwd[:, -2] + bwd[:, 0]
+        self._counts[active] = nxt
+        self._ptr[active] = (p ^ c) & 1
+        self.round += 1
+
+    def step(
+        self,
+        lane_mask: np.ndarray | None = None,
+        need_visits: bool = True,
+    ) -> np.ndarray | None:
+        """Advance one synchronous round in every (masked) lane.
+
+        ``lane_mask`` is an optional ``(B,)`` boolean array; lanes where
+        it is false keep their configuration unchanged (used to freeze
+        lanes whose per-lane schedule has ended).  Returns a ``(B, n)``
+        boolean array marking the nodes that received at least one
+        agent this round (all-false rows for frozen lanes) — or None
+        when the caller passes ``need_visits=False`` and the kernel
+        does not track cover, which keeps a masked step's cost
+        proportional to the active lanes (the limit-cycle search's
+        tail case).
+
+        ``round`` counts ``step`` calls; with masks, callers manage
+        per-lane time axes themselves.
+        """
+        want_visits = need_visits or (
+            self._track_cover and not self._all_covered
+        )
+        if lane_mask is None:
+            self._step_arith()
+            visits = self._counts != 0 if want_visits else None
+        else:
+            active = np.flatnonzero(lane_mask)
+            self._step_arith_subset(active)
+            if want_visits:
+                visits = np.zeros((self.num_lanes, self.n), dtype=bool)
+                visits[active] = self._counts[active] != 0
+            else:
+                visits = None
+        if self._track_cover and not self._all_covered:
+            newly = visits & (self._seen == 0)
+            np.bitwise_or(self._seen, self._counts, out=self._seen)
+            # New visits are sparse (a lane's frontier grows by at most
+            # two nodes per round), so update through indices.
+            cells = np.flatnonzero(newly)
+            if cells.size:
+                lanes = cells // self.n
+                self._unvisited -= np.bincount(
+                    lanes, minlength=self.num_lanes
+                )
+                self._record_covered(np.unique(lanes), self.round)
+        return visits
+
+    def _record_covered(self, lanes: np.ndarray, at_round: int) -> None:
+        """Stamp ``cover_rounds`` for lanes whose unvisited hit zero."""
+        just = lanes[
+            (self._unvisited[lanes] == 0) & (self.cover_rounds[lanes] < 0)
+        ]
+        if just.size:
+            self.cover_rounds[just] = at_round
+            self._all_covered = bool((self.cover_rounds >= 0).all())
+
+    #: Rounds per reconciliation window of the bulk drivers: large
+    #: enough to amortize the per-lane reduction, small enough that a
+    #: replay is negligible.
+    _WINDOW = 32
+
+    def _advance_windowed(self, rounds: int) -> None:
+        """Advance ``rounds`` rounds with windowed exact cover tracking.
+
+        Per round only ``seen |= counts`` runs (one element-wise op);
+        once per window the per-lane unvisited counts are reconciled,
+        and lanes that covered inside the window are replayed from the
+        window-start snapshot to recover the exact cover round.  The
+        replay is deterministic, touches only the few covered lanes,
+        and is bounded by the window length.
+        """
+        remaining = rounds
+        while remaining > 0:
+            window = min(self._WINDOW, remaining)
+            if self._all_covered or not self._track_cover:
+                for _ in range(remaining):
+                    self._step_arith()
+                return
+            base_round = self.round
+            snap_counts = self._counts.copy()
+            snap_ptr = self._ptr.copy()
+            snap_seen = self._seen.copy()
+            for _ in range(window):
+                self._step_arith()
+                np.bitwise_or(self._seen, self._counts, out=self._seen)
+            remaining -= window
+            self._unvisited = self.n - np.count_nonzero(self._seen, axis=1)
+            covered = np.flatnonzero(
+                (self._unvisited == 0) & (self.cover_rounds < 0)
+            )
+            if covered.size:
+                self._replay_cover_rounds(
+                    covered, snap_counts, snap_ptr, snap_seen,
+                    base_round, window,
+                )
+                self._all_covered = bool((self.cover_rounds >= 0).all())
+
+    def _replay_cover_rounds(
+        self,
+        lanes: np.ndarray,
+        snap_counts: np.ndarray,
+        snap_ptr: np.ndarray,
+        snap_seen: np.ndarray,
+        base_round: int,
+        window: int,
+    ) -> None:
+        """Re-run ``lanes`` from the snapshot to stamp exact cover rounds."""
+        sub = object.__new__(BatchRingKernel)
+        sub.n = self.n
+        sub.num_lanes = len(lanes)
+        sub.round = base_round
+        sub._counts = snap_counts[lanes]
+        sub._ptr = snap_ptr[lanes]
+        sub._next = np.empty_like(sub._counts)
+        sub._fwd = np.empty_like(sub._counts)
+        sub._bwd = np.empty_like(sub._counts)
+        sub._track_cover = True
+        sub._seen = snap_seen[lanes]
+        sub._unvisited = sub.n - np.count_nonzero(sub._seen, axis=1)
+        sub.cover_rounds = np.full(sub.num_lanes, -1, dtype=np.int64)
+        sub._all_covered = False
+        for _ in range(window):
+            sub.step()
+            if sub._all_covered:
+                break
+        self.cover_rounds[lanes] = sub.cover_rounds
+
+    def run(self, rounds: int) -> None:
+        """Advance every lane ``rounds`` rounds (windowed fast path)."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        self._advance_windowed(rounds)
+
+    def run_until_covered(
+        self, max_rounds: int, strict: bool = True
+    ) -> np.ndarray:
+        """Step until every lane has covered its ring; per-lane cover rounds.
+
+        With ``strict``, lanes still uncovered after ``max_rounds``
+        raise ``RuntimeError`` (mirroring the reference engines);
+        otherwise they report -1, letting sweeps record truncation
+        instead of dying mid-grid.
+        """
+        if not self._track_cover:
+            raise RuntimeError("kernel was created with track_cover=False")
+        while not self._all_covered and self.round < max_rounds:
+            self._advance_windowed(
+                min(self._WINDOW, max_rounds - self.round)
+            )
+        if strict and not self._all_covered:
+            uncovered = int((self.cover_rounds < 0).sum())
+            raise RuntimeError(
+                f"{uncovered} of {self.num_lanes} lanes not covered "
+                f"within {max_rounds} rounds"
+            )
+        return self.cover_rounds.copy()
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    def counts_lane(self, lane: int) -> np.ndarray:
+        """Agent counts of one lane as int64 (copy)."""
+        return self._counts[lane].astype(np.int64)
+
+    def directions_lane(self, lane: int) -> list[int]:
+        """Pointer directions (+1/-1) of one lane."""
+        return [1 if bit else -1 for bit in self._ptr[lane]]
+
+    def positions(self, lane: int) -> list[int]:
+        """Sorted agent locations of one lane, with multiplicity."""
+        row = self._counts[lane]
+        result: list[int] = []
+        for v in np.flatnonzero(row):
+            result.extend([int(v)] * int(row[v]))
+        return result
+
+    def unvisited_lane(self, lane: int) -> int:
+        if not self._track_cover:
+            raise RuntimeError("kernel was created with track_cover=False")
+        return int(self.n - np.count_nonzero(self._seen[lane]))
+
+    def state_keys(self, lanes: "list[int] | None" = None) -> dict[int, bytes]:
+        """Configuration keys (pointer bits + counts) by lane index.
+
+        Two lanes of same-dtype kernels share a key iff they are in the
+        same configuration; used by the batch Brent search, which
+        passes only the still-unresolved ``lanes`` so the search tail
+        scales with them rather than the whole batch.
+        """
+        if lanes is None:
+            lanes = range(self.num_lanes)
+        ptr_rows = self._ptr
+        count_rows = self._counts
+        return {
+            b: ptr_rows[b].tobytes() + count_rows[b].tobytes()
+            for b in lanes
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchRingKernel(n={self.n}, lanes={self.num_lanes}, "
+            f"round={self.round})"
+        )
+
+
+def lanes_from_configs(
+    n: int, configurations: list[tuple[list[int], list[int]]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack ``(directions, agents)`` pairs into kernel input arrays.
+
+    Every pair describes one lane: a length-``n`` +/-1 direction list
+    and agent starting nodes with multiplicity (the same arguments the
+    reference :class:`repro.core.ring.RingRotorRouter` takes).
+    """
+    if not configurations:
+        raise ValueError("at least one configuration is required")
+    num_lanes = len(configurations)
+    pointers = np.empty((num_lanes, n), dtype=np.int8)
+    counts = np.zeros((num_lanes, n), dtype=np.int64)
+    for b, (directions, agents) in enumerate(configurations):
+        if len(directions) != n:
+            raise ValueError(
+                f"lane {b}: pointers have length {len(directions)}, "
+                f"ring has {n} nodes"
+            )
+        pointers[b] = directions
+        if not agents:
+            raise ValueError(f"lane {b}: at least one agent is required")
+        for a in agents:
+            if not 0 <= a < n:
+                raise ValueError(f"lane {b}: agent position {a} out of range")
+            counts[b, a] += 1
+    return pointers, counts
+
+
+# ----------------------------------------------------------------------
+# per-lane limit-cycle detection (stabilization + return times)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchLimitCycles:
+    """Per-lane stabilization results: preperiod mu and period lam.
+
+    Lanes whose cycle was not confirmed within the round budget (only
+    possible with ``strict=False``) carry -1 in both arrays.
+    """
+
+    preperiods: np.ndarray
+    periods: np.ndarray
+
+
+def batch_limit_cycles(
+    n: int,
+    pointers: np.ndarray,
+    counts: np.ndarray,
+    max_rounds: int,
+    strict: bool = True,
+) -> BatchLimitCycles:
+    """Brent's cycle search over every lane, with shared stepping.
+
+    The kernel advances all lanes with one vectorized step per round;
+    only the key comparison and the per-lane ``(power, lam)`` schedule
+    run in Python.  Results match
+    :func:`repro.core.limit.find_limit_cycle` exactly (both compute
+    the true minimal period and preperiod).
+
+    With ``strict``, exhausting ``max_rounds`` raises ``RuntimeError``
+    (mirroring the reference); otherwise unresolved lanes report -1,
+    letting sweeps record truncation instead of dying mid-grid.
+    """
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be positive, got {max_rounds}")
+    hare = BatchRingKernel(n, pointers, counts, track_cover=False)
+    num_lanes = hare.num_lanes
+    saved = hare.state_keys()  # tortoise snapshots (initial configuration)
+    power = np.ones(num_lanes, dtype=np.int64)
+    lam = np.zeros(num_lanes, dtype=np.int64)
+    periods = np.zeros(num_lanes, dtype=np.int64)
+    pending = list(range(num_lanes))
+    pending_mask = np.ones(num_lanes, dtype=bool)
+    steps = 0
+    while pending:
+        if steps >= max_rounds:
+            if strict:
+                raise RuntimeError(
+                    f"{len(pending)} lanes have no limit cycle confirmed "
+                    f"within {max_rounds} rounds"
+                )
+            periods[pending] = -1
+            break
+        # Resolved lanes are frozen: their configuration is no longer
+        # read, and the search tail then scales with unresolved lanes.
+        hare.step(lane_mask=pending_mask, need_visits=False)
+        steps += 1
+        keys = hare.state_keys(pending)
+        still = []
+        for b in pending:
+            lam[b] += 1
+            if keys[b] == saved[b]:
+                periods[b] = lam[b]
+                pending_mask[b] = False
+            else:
+                if lam[b] == power[b]:
+                    saved[b] = keys[b]
+                    power[b] *= 2
+                    lam[b] = 0
+                still.append(b)
+        pending = still
+
+    # Phase 2: preperiods, with the hare a full period ahead per lane.
+    # Unresolved lanes (period -1) are frozen by the masks throughout.
+    tortoise = BatchRingKernel(n, pointers, counts, track_cover=False)
+    hare = BatchRingKernel(n, pointers, counts, track_cover=False)
+    for t in range(int(periods.max())):
+        hare.step(lane_mask=periods > t, need_visits=False)
+    preperiods = np.zeros(num_lanes, dtype=np.int64)
+    resolved = periods > 0
+    tortoise_keys = tortoise.state_keys()
+    hare_keys = hare.state_keys()
+    unmatched = np.array(
+        [
+            resolved[b] and tortoise_keys[b] != hare_keys[b]
+            for b in range(num_lanes)
+        ]
+    )
+    steps = 0
+    while unmatched.any():
+        if steps > max_rounds:
+            raise RuntimeError(
+                f"preperiod exceeds {max_rounds} rounds (inconsistent state)"
+            )
+        tortoise.step(lane_mask=unmatched, need_visits=False)
+        hare.step(lane_mask=unmatched, need_visits=False)
+        steps += 1
+        preperiods[unmatched] += 1
+        open_lanes = np.flatnonzero(unmatched)
+        tortoise_keys = tortoise.state_keys(open_lanes)
+        hare_keys = hare.state_keys(open_lanes)
+        for b in open_lanes:
+            if tortoise_keys[b] == hare_keys[b]:
+                unmatched[b] = False
+    preperiods[~resolved] = -1
+    return BatchLimitCycles(preperiods=preperiods, periods=periods)
+
+
+def batch_return_gaps(
+    n: int,
+    pointers: np.ndarray,
+    counts: np.ndarray,
+    cycles: BatchLimitCycles,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-lane (worst, best) visit gaps within one limit-cycle period.
+
+    Advances each lane to its cycle start, then scans exactly one
+    period per lane recording per-node gaps between consecutive visits,
+    including the wrap-around gap (last visit -> first visit of the
+    next repetition), exactly like
+    :func:`repro.core.limit.return_time_exact`.
+    """
+    runner = BatchRingKernel(n, pointers, counts, track_cover=False)
+    num_lanes = runner.num_lanes
+    preperiods, periods = cycles.preperiods, cycles.periods
+    if np.any(periods < 1):
+        raise ValueError(
+            "every lane needs a confirmed cycle; slice unresolved "
+            "(period -1) lanes out before computing gaps"
+        )
+    for t in range(int(preperiods.max())):
+        runner.step(lane_mask=preperiods > t, need_visits=False)
+
+    first = np.full((num_lanes, n), -1, dtype=np.int64)
+    last = np.full((num_lanes, n), -1, dtype=np.int64)
+    max_gap = np.zeros((num_lanes, n), dtype=np.int64)
+    for t in range(int(periods.max())):
+        visits = runner.step(lane_mask=periods > t)
+        seen_before = visits & (last >= 0)
+        gaps = t - last
+        np.maximum(max_gap, np.where(seen_before, gaps, 0), out=max_gap)
+        first[visits & (first < 0)] = t
+        last[visits] = t
+
+    wrap = first + periods[:, np.newaxis] - last
+    gaps = np.maximum(max_gap, wrap).astype(float)
+    gaps[first < 0] = np.inf  # never visited in-cycle (impossible on a ring)
+    return gaps.max(axis=1), gaps.min(axis=1)

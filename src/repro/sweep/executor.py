@@ -1,0 +1,332 @@
+"""Parallel sweep executor with an on-disk JSON result cache.
+
+``run_sweep`` turns a :class:`repro.sweep.spec.ScenarioSpec` into
+results in three stages:
+
+1. **cache probe** — every expanded cell is looked up in the cache
+   directory by its ``config_hash``; hits are served without any
+   simulation, which is what makes repeated and resumed sweeps free;
+2. **batch planning** — cache misses are grouped by ring size and
+   chunked; each chunk becomes one :class:`repro.sweep.batch_ring.
+   BatchRingKernel` invocation stepping all of the chunk's lanes with
+   shared vectorized rounds;
+3. **execution** — chunks run in-process (``jobs <= 1``) or across a
+   ``multiprocessing`` pool, with per-chunk progress reporting; fresh
+   results are written back to the cache as they arrive.
+
+Cache entries are one JSON file per cell (``<hash prefix>/<hash>.json``)
+holding the cell's identity plus its metrics, so a cache directory is
+portable, inspectable and safely shared between scenarios: any two
+specs containing the same cell exchange results through it.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.sweep.batch_ring import (
+    BatchLimitCycles,
+    BatchRingKernel,
+    batch_limit_cycles,
+    batch_return_gaps,
+    lanes_from_configs,
+)
+from repro.sweep.spec import ScenarioSpec, SweepConfig
+from repro.util.tables import Table
+
+#: Lanes per kernel invocation: large enough to amortize numpy
+#: dispatch, small enough to keep many chunks in flight per worker.
+DEFAULT_CHUNK_LANES = 64
+
+ProgressFn = Callable[[int, int], None]
+
+
+class ResultCache:
+    """One JSON file per sweep cell, keyed by its config hash."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def path(self, config_hash: str) -> str:
+        return os.path.join(
+            self.directory, config_hash[:2], f"{config_hash}.json"
+        )
+
+    def get(self, config: SweepConfig) -> dict | None:
+        """The cached metrics for ``config``, or None on a miss.
+
+        Unreadable or mismatched entries count as misses (and are
+        recomputed) rather than failing the sweep.
+        """
+        path = self.path(config.config_hash)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if entry.get("config") != config.identity():
+            return None
+        metrics = entry.get("metrics")
+        return metrics if isinstance(metrics, dict) else None
+
+    def put(self, config: SweepConfig, metrics: dict) -> str:
+        path = self.path(config.config_hash)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {"config": config.identity(), "metrics": metrics}
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)  # atomic: concurrent writers agree anyway
+        return path
+
+    def __len__(self) -> int:
+        total = 0
+        for _, _, files in os.walk(self.directory):
+            total += sum(name.endswith(".json") for name in files)
+        return total
+
+
+@dataclass(frozen=True)
+class ConfigResult:
+    """Metrics of one sweep cell, with provenance."""
+
+    config: SweepConfig
+    metrics: dict
+    cached: bool
+
+
+@dataclass
+class SweepResult:
+    """All cell results of one sweep run, in spec expansion order."""
+
+    spec: ScenarioSpec
+    results: list[ConfigResult]
+    elapsed: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    _METRIC_COLUMNS = (
+        ("cover", "d"),
+        ("preperiod", "d"),
+        ("period", "d"),
+        ("worst_gap", ".0f"),
+        ("best_gap", ".0f"),
+    )
+
+    def table(self) -> Table:
+        """Render every cell as one row (generic sweep layout)."""
+        present = [
+            (name, fmt)
+            for name, fmt in self._METRIC_COLUMNS
+            if any(name in r.metrics for r in self.results)
+        ]
+        table = Table(
+            columns=["n", "k", "placement", "pointers", "seed"]
+            + [name for name, _ in present]
+            + ["cached"],
+            caption=f"sweep '{self.spec.name}': "
+            f"{len(self.results)} configurations",
+            formats=["d", "d", None, None, "d"]
+            + [fmt for _, fmt in present]
+            + [None],
+        )
+        for result in self.results:
+            config = result.config
+            table.add_row(
+                config.n,
+                config.k,
+                config.placement,
+                config.pointer,
+                config.seed,
+                *[result.metrics.get(name) for name, _ in present],
+                "yes" if result.cached else "no",
+            )
+        return table
+
+
+def compute_chunk(payload: dict) -> list[tuple[str, dict]]:
+    """Run one chunk of same-``n`` cells through the batch kernel.
+
+    ``payload`` is a plain dict (picklable for worker processes) with
+    the ring size, round budget, metric list and the cells' dict forms.
+    Returns ``(config_hash, metrics)`` pairs in chunk order.
+    """
+    n = payload["n"]
+    max_rounds = payload["max_rounds"]
+    metrics: Sequence[str] = payload["metrics"]
+    configs = [SweepConfig.from_dict(data) for data in payload["configs"]]
+    lanes = [config.build() for config in configs]
+    pointers, counts = lanes_from_configs(
+        n, [(directions, agents) for agents, directions in lanes]
+    )
+
+    out: list[dict] = [{} for _ in configs]
+    if "cover" in metrics:
+        kernel = BatchRingKernel(n, pointers, counts)
+        covers = kernel.run_until_covered(max_rounds, strict=False)
+        for b, cover in enumerate(covers):
+            out[b]["cover"] = int(cover) if cover >= 0 else None
+    if "stabilization" in metrics or "return" in metrics:
+        cycles = batch_limit_cycles(
+            n, pointers, counts, max_rounds, strict=False
+        )
+        resolved = cycles.periods > 0
+        if "stabilization" in metrics:
+            for b in range(len(configs)):
+                confirmed = bool(resolved[b])
+                out[b]["preperiod"] = (
+                    int(cycles.preperiods[b]) if confirmed else None
+                )
+                out[b]["period"] = (
+                    int(cycles.periods[b]) if confirmed else None
+                )
+        if "return" in metrics:
+            for b in range(len(configs)):
+                out[b]["worst_gap"] = None
+                out[b]["best_gap"] = None
+            lanes = np.flatnonzero(resolved)
+            if lanes.size:
+                worst, best = batch_return_gaps(
+                    n,
+                    pointers[lanes],
+                    counts[lanes],
+                    BatchLimitCycles(
+                        preperiods=cycles.preperiods[lanes],
+                        periods=cycles.periods[lanes],
+                    ),
+                )
+                for i, b in enumerate(lanes):
+                    out[b]["worst_gap"] = float(worst[i])
+                    out[b]["best_gap"] = float(best[i])
+    return [
+        (config.config_hash, metrics_out)
+        for config, metrics_out in zip(configs, out)
+    ]
+
+
+def _plan_chunks(
+    misses: list[SweepConfig], chunk_lanes: int
+) -> list[dict]:
+    """Group cache misses by (n, budget) and slice into chunk payloads."""
+    groups: dict[tuple[int, int], list[SweepConfig]] = {}
+    for config in misses:
+        groups.setdefault((config.n, config.max_rounds), []).append(config)
+    payloads = []
+    for (n, max_rounds), members in sorted(groups.items()):
+        for start in range(0, len(members), chunk_lanes):
+            chunk = members[start:start + chunk_lanes]
+            payloads.append(
+                {
+                    "n": n,
+                    "max_rounds": max_rounds,
+                    "metrics": list(chunk[0].metrics),
+                    "configs": [config.to_dict() for config in chunk],
+                }
+            )
+    return payloads
+
+
+def stderr_progress(done: int, total: int) -> None:
+    """Default progress reporter: one status line on stderr."""
+    end = "\n" if done == total else "\r"
+    print(f"sweep: {done}/{total} configurations", file=sys.stderr, end=end)
+
+
+def run_sweep(
+    spec: ScenarioSpec,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    progress: ProgressFn | None = None,
+    chunk_lanes: int = DEFAULT_CHUNK_LANES,
+) -> SweepResult:
+    """Execute a sweep: cache probe, then parallel batched simulation.
+
+    ``jobs <= 1`` runs chunks in-process; otherwise a multiprocessing
+    pool of ``jobs`` workers consumes them.  ``progress`` (if given) is
+    called with ``(done, total)`` configuration counts as results
+    arrive, cache hits included.
+    """
+    if jobs < 0:
+        raise ValueError(f"jobs must be non-negative, got {jobs}")
+    if chunk_lanes < 1:
+        raise ValueError(f"chunk_lanes must be positive, got {chunk_lanes}")
+    started = time.perf_counter()
+    configs = spec.configs()
+    total = len(configs)
+    cache = ResultCache(cache_dir) if cache_dir else None
+
+    metrics_by_hash: dict[str, dict] = {}
+    cached_hashes: set[str] = set()
+    misses: list[SweepConfig] = []
+    for config in configs:  # spec expansion guarantees unique cells
+        entry = cache.get(config) if cache is not None else None
+        if entry is not None:
+            metrics_by_hash[config.config_hash] = entry
+            cached_hashes.add(config.config_hash)
+        else:
+            misses.append(config)
+    done = total - len(misses)
+    if progress:
+        progress(done, total)
+
+    by_hash = {config.config_hash: config for config in misses}
+    payloads = _plan_chunks(misses, chunk_lanes)
+    if payloads:
+        if jobs > 1:
+            with multiprocessing.Pool(processes=jobs) as pool:
+                chunk_results = pool.imap_unordered(compute_chunk, payloads)
+                done = _collect(
+                    chunk_results, metrics_by_hash, by_hash, cache,
+                    done, total, progress,
+                )
+        else:
+            done = _collect(
+                map(compute_chunk, payloads), metrics_by_hash, by_hash,
+                cache, done, total, progress,
+            )
+
+    results = [
+        ConfigResult(
+            config=config,
+            metrics=metrics_by_hash[config.config_hash],
+            cached=config.config_hash in cached_hashes,
+        )
+        for config in configs
+    ]
+    hits = sum(result.cached for result in results)
+    return SweepResult(
+        spec=spec,
+        results=results,
+        elapsed=time.perf_counter() - started,
+        cache_hits=hits,
+        cache_misses=len(results) - hits,
+    )
+
+
+def _collect(
+    chunk_results,
+    metrics_by_hash: dict[str, dict],
+    by_hash: dict[str, SweepConfig],
+    cache: ResultCache | None,
+    done: int,
+    total: int,
+    progress: ProgressFn | None,
+) -> int:
+    for pairs in chunk_results:
+        for config_hash, metrics in pairs:
+            metrics_by_hash[config_hash] = metrics
+            if cache is not None:
+                cache.put(by_hash[config_hash], metrics)
+            done += 1
+        if progress:
+            progress(done, total)
+    return done

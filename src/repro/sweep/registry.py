@@ -1,0 +1,114 @@
+"""Named sweep scenarios: the paper's experiments as declarative specs.
+
+Each entry maps a name (used by ``python -m repro sweep <name>``) to a
+builder producing a :class:`repro.sweep.spec.ScenarioSpec` at full or
+``--quick`` size.  The registered scenarios re-express the repo's
+experiment scripts on top of the sweep subsystem:
+
+* ``table1`` — the rotor-router cover rows of Table 1 (worst placement
+  all-on-one/toward-node-0, best placement equally-spaced under the
+  negative adversary) swept over k;
+* ``stabilization`` — the time-to-limit-cycle extension study:
+  preperiod, period and in-cycle return gaps across initialization
+  families including random ones;
+* ``cover_scaling`` — a wide (n, k, family) cover-time grid the serial
+  experiment scripts never attempt in one run.
+
+New workloads register with :func:`register`; the CLI lists whatever
+is here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sweep.spec import InitFamily, ScenarioSpec
+
+ScenarioBuilder = Callable[[bool], ScenarioSpec]
+
+_SCENARIOS: dict[str, tuple[ScenarioBuilder, str]] = {}
+
+
+def register(
+    name: str, description: str
+) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Register a scenario builder under ``name`` for the CLI."""
+
+    def wrap(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if name in _SCENARIOS:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _SCENARIOS[name] = (builder, description)
+        return builder
+
+    return wrap
+
+
+def scenario_names() -> list[str]:
+    return list(_SCENARIOS)
+
+
+def scenario_description(name: str) -> str:
+    return _SCENARIOS[name][1]
+
+
+def scenario(name: str, quick: bool = False) -> ScenarioSpec:
+    """Build the named scenario at full (default) or quick size."""
+    try:
+        builder, _ = _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep scenario {name!r}; known: {scenario_names()}"
+        ) from None
+    return builder(quick)
+
+
+@register("table1", "Table 1 rotor-router cover times (worst + best placement)")
+def _table1(quick: bool) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table1",
+        ns=(128,) if quick else (512,),
+        ks=(2, 4, 8) if quick else (2, 4, 8, 16, 32),
+        families=(
+            InitFamily("all_on_one", "toward_node0"),
+            InitFamily("equally_spaced", "negative"),
+        ),
+        metrics=("cover",),
+        description="deterministic cover-time columns of Table 1",
+    )
+
+
+@register("stabilization", "time-to-limit-cycle + return gaps across inits")
+def _stabilization(quick: bool) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="stabilization",
+        ns=(32, 64) if quick else (64, 128, 256),
+        ks=(4,),
+        families=(
+            InitFamily("all_on_one", "toward_node0"),
+            InitFamily("equally_spaced", "negative"),
+            InitFamily("equally_spaced", "positive"),
+            InitFamily("random", "random"),
+        ),
+        metrics=("stabilization", "return"),
+        seeds=(0, 1),
+        description="preperiod/period (Brent) and in-cycle visit gaps",
+    )
+
+
+@register("cover_scaling", "cover-time grid across n, k and init families")
+def _cover_scaling(quick: bool) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="cover_scaling",
+        ns=(64, 128) if quick else (128, 256, 512, 1024),
+        ks=(2, 4) if quick else (2, 4, 8, 16),
+        families=(
+            InitFamily("all_on_one", "toward_node0"),
+            InitFamily("equally_spaced", "negative"),
+            InitFamily("equally_spaced", "uniform"),
+            InitFamily("half_ring", "alternating"),
+            InitFamily("random", "random"),
+        ),
+        metrics=("cover",),
+        seeds=(0, 1, 2) if not quick else (0,),
+        description="how cover time scales outside the Table 1 corners",
+    )

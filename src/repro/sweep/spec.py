@@ -1,0 +1,268 @@
+"""Declarative sweep scenarios: the grid language and config hashing.
+
+A :class:`ScenarioSpec` names a parameter grid — ring sizes, agent
+counts, initialization families (a named placement from
+:mod:`repro.core.placement` paired with a named pointer initialization
+from :mod:`repro.core.pointers`), seeds and metrics — and expands into
+concrete :class:`SweepConfig` cells.  Every cell carries a
+deterministic SHA-256 ``config_hash`` over its canonical identity, so
+results can be cached on disk and shared between scenarios: two specs
+that happen to contain the same cell hit the same cache entry.
+
+The vocabulary is intentionally the paper's: ``all_on_one/toward_node0``
+is the Theorem 1 worst case, ``equally_spaced/negative`` the Theorem 3
+placement under the Theorem 4 adversary, and so on.  Random families
+(``random`` placement or pointers) fan out over the spec's seeds;
+deterministic families collapse to a single seed so the grid never
+recomputes identical cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core import placement as _placement
+from repro.core import pointers as _pointers
+from repro.util.rng import derive_seed
+
+#: Bump when the identity layout or initializer semantics change, so
+#: stale cache entries from older code are never served.
+SCHEMA_VERSION = 1
+
+#: Metrics a sweep can record per cell.
+METRICS = ("cover", "stabilization", "return")
+
+PlacementFn = Callable[[int, int, int], list[int]]
+PointerFn = Callable[[int, Sequence[int], int], list[int]]
+
+
+def _clustered(n: int, k: int, seed: int) -> list[int]:
+    # sqrt(k) clusters: halfway between all-on-one and fully spread.
+    clusters = min(n, max(1, math.isqrt(k)))
+    return _placement.clustered(n, k, clusters, seed=seed)
+
+
+#: name -> (n, k, seed) -> agent starting nodes.
+PLACEMENTS: dict[str, PlacementFn] = {
+    "all_on_one": lambda n, k, seed: _placement.all_on_one(k),
+    "equally_spaced": lambda n, k, seed: _placement.equally_spaced(n, k),
+    "half_ring": lambda n, k, seed: _placement.half_ring(n, k),
+    "clustered": _clustered,
+    "random": lambda n, k, seed: _placement.random_nodes(n, k, seed=seed),
+}
+
+#: name -> (n, agents, seed) -> pointer directions (+1/-1 per node).
+POINTERS: dict[str, PointerFn] = {
+    "toward_node0": lambda n, agents, seed: _pointers.ring_toward_node(n, 0),
+    "negative": lambda n, agents, seed: _pointers.ring_negative(n, agents),
+    "positive": lambda n, agents, seed: _pointers.ring_positive(n, agents),
+    "uniform": lambda n, agents, seed: _pointers.ring_uniform(n),
+    "alternating": lambda n, agents, seed: _pointers.ring_alternating(n),
+    "random": lambda n, agents, seed: _pointers.ring_random(n, seed=seed),
+}
+
+#: Initializers whose output depends on the seed.
+RANDOM_PLACEMENTS = frozenset({"random", "clustered"})
+RANDOM_POINTERS = frozenset({"random"})
+
+
+@dataclass(frozen=True)
+class InitFamily:
+    """A named (placement, pointer) initialization pair."""
+
+    placement: str
+    pointer: str
+
+    def __post_init__(self) -> None:
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; "
+                f"known: {sorted(PLACEMENTS)}"
+            )
+        if self.pointer not in POINTERS:
+            raise ValueError(
+                f"unknown pointer init {self.pointer!r}; "
+                f"known: {sorted(POINTERS)}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"{self.placement}/{self.pointer}"
+
+    @property
+    def is_random(self) -> bool:
+        return (
+            self.placement in RANDOM_PLACEMENTS
+            or self.pointer in RANDOM_POINTERS
+        )
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One concrete cell of a sweep grid.
+
+    The identity — and hence the cache key — is everything that
+    determines the simulation's outputs: the ring size, agent count,
+    both initializer names, the seed, the metric set and the round
+    budget.  The scenario name is deliberately *not* part of it.
+    """
+
+    n: int
+    k: int
+    placement: str
+    pointer: str
+    seed: int
+    metrics: tuple[str, ...]
+    max_rounds: int
+
+    def identity(self) -> dict:
+        """Canonical JSON-stable identity used for hashing and caching."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "n": self.n,
+            "k": self.k,
+            "placement": self.placement,
+            "pointer": self.pointer,
+            "seed": self.seed,
+            "metrics": list(self.metrics),
+            "max_rounds": self.max_rounds,
+        }
+
+    @property
+    def config_hash(self) -> str:
+        text = json.dumps(self.identity(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    @property
+    def family(self) -> InitFamily:
+        return InitFamily(self.placement, self.pointer)
+
+    def build(self) -> tuple[list[int], list[int]]:
+        """Materialize ``(agents, directions)`` for this cell.
+
+        Placement and pointer draws get independent derived streams so
+        adding one initializer never shifts another's randomness.
+        """
+        agents = PLACEMENTS[self.placement](
+            self.n, self.k, derive_seed(self.seed, "placement", self.n, self.k)
+        )
+        directions = POINTERS[self.pointer](
+            self.n, agents, derive_seed(self.seed, "pointer", self.n, self.k)
+        )
+        return agents, directions
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (pickled to worker processes, stored in cache)."""
+        return self.identity()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepConfig":
+        if data.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"config schema {data.get('schema')!r} does not match "
+                f"{SCHEMA_VERSION}"
+            )
+        return cls(
+            n=int(data["n"]),
+            k=int(data["k"]),
+            placement=str(data["placement"]),
+            pointer=str(data["pointer"]),
+            seed=int(data["seed"]),
+            metrics=tuple(data["metrics"]),
+            max_rounds=int(data["max_rounds"]),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative sweep: the full grid plus what to measure.
+
+    ``configs()`` expands the grid ``ns x ks x families x seeds``
+    (seeds collapse to the first one for deterministic families) into
+    :class:`SweepConfig` cells; ``spec_hash`` is a deterministic digest
+    of the whole expansion, used to label sweep runs.
+    """
+
+    name: str
+    ns: tuple[int, ...]
+    ks: tuple[int, ...]
+    families: tuple[InitFamily, ...]
+    metrics: tuple[str, ...] = ("cover",)
+    seeds: tuple[int, ...] = (0,)
+    #: Round budget per cell: ``max_rounds_factor * n² + 1024``.  The
+    #: default covers both cover runs (<= 8 n² in the worst case) and
+    #: Brent's stabilization search (preperiod is O(n²) on the ring).
+    max_rounds_factor: int = 16
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.ns or any(n < 3 for n in self.ns):
+            raise ValueError(f"ns must be non-empty with every n >= 3: {self.ns}")
+        if not self.ks or any(k < 1 for k in self.ks):
+            raise ValueError(f"ks must be non-empty with every k >= 1: {self.ks}")
+        if not self.families:
+            raise ValueError("at least one initialization family is required")
+        if not self.metrics:
+            raise ValueError("at least one metric is required")
+        for metric in self.metrics:
+            if metric not in METRICS:
+                raise ValueError(
+                    f"unknown metric {metric!r}; known: {METRICS}"
+                )
+        if not self.seeds:
+            raise ValueError("at least one seed is required")
+        if self.max_rounds_factor < 1:
+            raise ValueError("max_rounds_factor must be positive")
+
+    def budget(self, n: int) -> int:
+        return self.max_rounds_factor * n * n + 1024
+
+    def configs(self) -> list[SweepConfig]:
+        """Expand the grid into concrete cells, in deterministic order.
+
+        Deterministic families ignore the seed, so they collapse to a
+        single cell with seed 0 — normalizing the identity ensures two
+        specs with different seed lists still share cache entries for
+        their deterministic cells.  Duplicate grid entries (repeated
+        sizes, repeated families) expand once, keeping cell counts,
+        progress totals and cache statistics consistent.
+        """
+        cells: list[SweepConfig] = []
+        seen: set[tuple] = set()
+        metrics = tuple(self.metrics)
+        for n in self.ns:
+            for k in self.ks:
+                for family in self.families:
+                    seeds = self.seeds if family.is_random else (0,)
+                    for seed in seeds:
+                        cell_id = (n, k, family.placement, family.pointer, seed)
+                        if cell_id in seen:
+                            continue
+                        seen.add(cell_id)
+                        cells.append(
+                            SweepConfig(
+                                n=n,
+                                k=k,
+                                placement=family.placement,
+                                pointer=family.pointer,
+                                seed=seed,
+                                metrics=metrics,
+                                max_rounds=self.budget(n),
+                            )
+                        )
+        return cells
+
+    @property
+    def spec_hash(self) -> str:
+        digest = hashlib.sha256()
+        for config in self.configs():
+            digest.update(config.config_hash.encode("ascii"))
+        return digest.hexdigest()
+
+    @property
+    def num_configs(self) -> int:
+        return len(self.configs())

@@ -1,0 +1,274 @@
+"""The batch ring kernel must match the reference engines exactly.
+
+Three layers of equivalence:
+
+* lockstep — random configurations stepped side by side with the
+  sparse :class:`repro.core.ring.RingRotorRouter` (positions, pointer
+  directions, unvisited counts identical every round);
+* cover — per-lane cover rounds from the windowed bulk driver equal
+  the reference's, over 200+ randomized configurations batched into
+  shared kernels (the acceptance bar of the sweep subsystem);
+* limit behaviour — per-lane Brent preperiods/periods and in-cycle
+  return gaps equal :mod:`repro.core.limit`'s exact results.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.return_time import ring_rotor_return_time_exact
+from repro.core import placement, pointers
+from repro.core.ring import RingRotorRouter
+from repro.sweep.batch_ring import (
+    BatchRingKernel,
+    batch_limit_cycles,
+    batch_return_gaps,
+    lanes_from_configs,
+)
+
+
+@st.composite
+def lane_setup(draw):
+    n = draw(st.integers(3, 40))
+    k = draw(st.integers(1, 2 * n))  # dense regimes escalate the dtype
+    dirs = draw(st.lists(st.sampled_from((1, -1)), min_size=n, max_size=n))
+    agents = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    rounds = draw(st.integers(1, 80))
+    return n, dirs, agents, rounds
+
+
+def _random_configuration(rng, n, max_k):
+    k = int(rng.integers(1, max_k))
+    dirs = [int(d) for d in rng.choice((1, -1), size=n)]
+    agents = [int(a) for a in rng.integers(0, n, size=k)]
+    return dirs, agents
+
+
+class TestLockstep:
+    @given(lane_setup())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_sparse_engine(self, setup):
+        n, dirs, agents, rounds = setup
+        ref = RingRotorRouter(n, list(dirs), agents, track_counts=False)
+        ptr, cnt = lanes_from_configs(n, [(dirs, agents)])
+        kernel = BatchRingKernel(n, ptr, cnt)
+        for _ in range(rounds):
+            ref.step()
+            kernel.step()
+            assert ref.positions() == kernel.positions(0)
+            assert list(ref.ptr) == kernel.directions_lane(0)
+        assert ref.unvisited == kernel.unvisited_lane(0)
+
+    @given(lane_setup())
+    @settings(max_examples=25, deadline=None)
+    def test_windowed_run_matches_stepping(self, setup):
+        """run() (windowed fast path) ends in the same configuration
+        and the same cover round as per-step exact tracking."""
+        n, dirs, agents, rounds = setup
+        ptr, cnt = lanes_from_configs(n, [(dirs, agents)])
+        stepped = BatchRingKernel(n, ptr, cnt)
+        bulk = BatchRingKernel(n, ptr, cnt)
+        for _ in range(rounds):
+            stepped.step()
+        bulk.run(rounds)
+        assert stepped.positions(0) == bulk.positions(0)
+        assert stepped.directions_lane(0) == bulk.directions_lane(0)
+        assert stepped.unvisited_lane(0) == bulk.unvisited_lane(0)
+        assert int(stepped.cover_rounds[0]) == int(bulk.cover_rounds[0])
+
+    def test_visits_mark_arrivals(self):
+        # Uniform clockwise pointers, one agent: node t visited at round t.
+        n = 8
+        ptr, cnt = lanes_from_configs(n, [([1] * n, [0])])
+        kernel = BatchRingKernel(n, ptr, cnt)
+        for t in range(1, n):
+            visits = kernel.step()
+            assert list(np.flatnonzero(visits[0])) == [t]
+
+
+class TestCoverEquivalence:
+    def test_200_randomized_configurations(self):
+        """Acceptance bar: >= 200 random configs, exact cover agreement."""
+        rng = np.random.default_rng(20260728)
+        total = 0
+        for n in (11, 32, 64):
+            configurations = [
+                _random_configuration(rng, n, max_k=3 * n // 2)
+                for _ in range(70)
+            ]
+            budget = 8 * n * n + 64
+            expected = [
+                RingRotorRouter(
+                    n, list(dirs), agents, track_counts=False
+                ).run_until_covered(budget)
+                for dirs, agents in configurations
+            ]
+            ptr, cnt = lanes_from_configs(n, configurations)
+            covers = BatchRingKernel(n, ptr, cnt).run_until_covered(budget)
+            assert [int(c) for c in covers] == expected
+            total += len(configurations)
+        assert total >= 200
+
+    def test_paper_corner_cases(self):
+        n, k = 64, 4
+        spaced = placement.equally_spaced(n, k)
+        cases = [
+            (pointers.ring_toward_node(n, 0), placement.all_on_one(k)),
+            (pointers.ring_negative(n, spaced), spaced),
+            (pointers.ring_positive(n, spaced), spaced),
+            (pointers.ring_alternating(n), placement.half_ring(n, k)),
+        ]
+        budget = 8 * n * n + 64
+        ptr, cnt = lanes_from_configs(n, cases)
+        covers = BatchRingKernel(n, ptr, cnt).run_until_covered(budget)
+        for lane, (dirs, agents) in enumerate(cases):
+            ref = RingRotorRouter(n, list(dirs), agents, track_counts=False)
+            assert int(covers[lane]) == ref.run_until_covered(budget)
+
+    def test_initially_covered_lane(self):
+        n = 5
+        ptr, cnt = lanes_from_configs(n, [([1] * n, list(range(n)))])
+        kernel = BatchRingKernel(n, ptr, cnt)
+        assert int(kernel.cover_rounds[0]) == 0
+        assert kernel.run_until_covered(10)[0] == 0
+
+    def test_budget_strict_and_lenient(self):
+        n = 32
+        ptr, cnt = lanes_from_configs(n, [([1] * n, [0])])
+        with pytest.raises(RuntimeError):
+            BatchRingKernel(n, ptr, cnt).run_until_covered(3)
+        lenient = BatchRingKernel(n, ptr, cnt).run_until_covered(
+            3, strict=False
+        )
+        assert int(lenient[0]) == -1
+
+
+class TestLimitBehaviour:
+    def test_cycles_and_gaps_match_reference(self):
+        n, k = 48, 4
+        spaced = placement.equally_spaced(n, k)
+        cases = [
+            (pointers.ring_toward_node(n, 0), placement.all_on_one(k)),
+            (pointers.ring_negative(n, spaced), spaced),
+            (pointers.ring_positive(n, spaced), spaced),
+            (
+                pointers.ring_random(n, seed=3),
+                placement.random_nodes(n, k, seed=3),
+            ),
+        ]
+        budget = 16 * n * n + 1024
+        ptr, cnt = lanes_from_configs(n, cases)
+        cycles = batch_limit_cycles(n, ptr, cnt, budget)
+        worst, best = batch_return_gaps(n, ptr, cnt, cycles)
+        for lane, (dirs, agents) in enumerate(cases):
+            ref = ring_rotor_return_time_exact(n, agents, dirs)
+            assert int(cycles.preperiods[lane]) == ref.preperiod
+            assert int(cycles.periods[lane]) == ref.period
+            assert float(worst[lane]) == ref.worst_gap
+            assert float(best[lane]) == ref.best_gap
+
+    def test_theorem6_shape(self):
+        # Return time is Θ(n/k): worst gap a small multiple of n/k.
+        n, k = 60, 4
+        agents = placement.all_on_one(k)
+        dirs = pointers.ring_toward_node(n, 0)
+        ptr, cnt = lanes_from_configs(n, [(dirs, agents)])
+        cycles = batch_limit_cycles(n, ptr, cnt, 16 * n * n + 1024)
+        worst, _ = batch_return_gaps(n, ptr, cnt, cycles)
+        assert worst[0] <= 4 * n / k
+
+    def test_budget_exhaustion_raises(self):
+        n = 16
+        ptr, cnt = lanes_from_configs(n, [([1] * n, [0, 3])])
+        with pytest.raises(RuntimeError):
+            batch_limit_cycles(n, ptr, cnt, max_rounds=2)
+
+    def test_lenient_budget_marks_unresolved_lanes(self):
+        n = 16
+        ptr, cnt = lanes_from_configs(n, [([1] * n, [0, 3])])
+        cycles = batch_limit_cycles(n, ptr, cnt, max_rounds=2, strict=False)
+        assert int(cycles.periods[0]) == -1
+        assert int(cycles.preperiods[0]) == -1
+        with pytest.raises(ValueError):
+            batch_return_gaps(n, ptr, cnt, cycles)
+
+    def test_lenient_mode_resolves_what_fits(self):
+        # One instant-cycle lane and one whose search exceeds the budget.
+        n, k = 24, 4
+        spaced = placement.equally_spaced(n, k)
+        easy = (pointers.ring_positive(n, spaced), spaced)
+        hard = (pointers.ring_toward_node(n, 0), placement.all_on_one(k))
+        ptr, cnt = lanes_from_configs(n, [easy, hard])
+        budget = 2 * n  # enough for the spaced patrol, not for worst-case
+        cycles = batch_limit_cycles(n, ptr, cnt, budget, strict=False)
+        ref = ring_rotor_return_time_exact(n, easy[1], easy[0])
+        assert int(cycles.periods[0]) == ref.period
+        assert int(cycles.preperiods[0]) == ref.preperiod
+        assert int(cycles.periods[1]) == -1
+
+
+class TestLaneMask:
+    def test_frozen_lanes_hold_still(self):
+        n = 12
+        dirs = [1] * n
+        ptr, cnt = lanes_from_configs(n, [(dirs, [0]), (dirs, [0])])
+        kernel = BatchRingKernel(n, ptr, cnt)
+        kernel.step(lane_mask=np.array([True, False]))
+        assert kernel.positions(0) == [1]
+        assert kernel.positions(1) == [0]
+        assert kernel.directions_lane(1) == dirs
+
+    def test_masked_visits_only_active_lanes(self):
+        n = 12
+        dirs = [1] * n
+        ptr, cnt = lanes_from_configs(n, [(dirs, [0]), (dirs, [0])])
+        kernel = BatchRingKernel(n, ptr, cnt)
+        visits = kernel.step(lane_mask=np.array([False, True]))
+        assert not visits[0].any()
+        assert visits[1].any()
+
+
+class TestValidation:
+    def test_min_ring_size(self):
+        with pytest.raises(ValueError):
+            BatchRingKernel(2, np.ones((1, 2)), np.ones((1, 2)))
+
+    def test_pointer_values(self):
+        with pytest.raises(ValueError):
+            BatchRingKernel(4, np.zeros((1, 4)), np.ones((1, 4)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BatchRingKernel(4, np.ones((1, 4)), np.ones((2, 4)))
+
+    def test_agentless_lane(self):
+        counts = np.zeros((2, 4))
+        counts[0, 0] = 1
+        with pytest.raises(ValueError):
+            BatchRingKernel(4, np.ones((2, 4)), counts)
+
+    def test_negative_counts(self):
+        counts = np.ones((1, 4))
+        counts[0, 1] = -1
+        with pytest.raises(ValueError):
+            BatchRingKernel(4, np.ones((1, 4)), counts)
+
+    def test_dtype_escalation_preserves_totals(self):
+        # k > 126 forces int16 lanes; conservation must survive.
+        n, k = 8, 500
+        ptr, cnt = lanes_from_configs(n, [([1] * n, [0] * k)])
+        kernel = BatchRingKernel(n, ptr, cnt)
+        assert kernel._counts.dtype == np.int16
+        kernel.run(50)
+        assert int(kernel.counts_lane(0).sum()) == k
+
+    def test_lanes_from_configs_validation(self):
+        with pytest.raises(ValueError):
+            lanes_from_configs(4, [])
+        with pytest.raises(ValueError):
+            lanes_from_configs(4, [([1, 1, 1], [0])])  # wrong length
+        with pytest.raises(ValueError):
+            lanes_from_configs(4, [([1] * 4, [])])  # no agents
+        with pytest.raises(ValueError):
+            lanes_from_configs(4, [([1] * 4, [9])])  # out of range

@@ -1,0 +1,189 @@
+"""Executor semantics: metrics, caching, parallelism, progress."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.cover_time import ring_rotor_cover_time
+from repro.analysis.return_time import ring_rotor_return_time_exact
+from repro.sweep.executor import ResultCache, run_sweep
+from repro.sweep.spec import InitFamily, ScenarioSpec
+
+
+def _cover_spec(**overrides):
+    base = dict(
+        name="exec-test",
+        ns=(16, 24),
+        ks=(2, 3),
+        families=(
+            InitFamily("all_on_one", "toward_node0"),
+            InitFamily("equally_spaced", "negative"),
+        ),
+        metrics=("cover",),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestMetrics:
+    def test_cover_matches_reference_harness(self):
+        result = run_sweep(_cover_spec())
+        assert len(result.results) == _cover_spec().num_configs
+        for cell in result.results:
+            config = cell.config
+            agents, directions = config.build()
+            assert cell.metrics["cover"] == ring_rotor_cover_time(
+                config.n, agents, directions
+            )
+
+    def test_stabilization_and_return_match_reference(self):
+        spec = _cover_spec(
+            ns=(16,), ks=(2,), metrics=("stabilization", "return")
+        )
+        result = run_sweep(spec)
+        for cell in result.results:
+            config = cell.config
+            agents, directions = config.build()
+            ref = ring_rotor_return_time_exact(config.n, agents, directions)
+            assert cell.metrics["preperiod"] == ref.preperiod
+            assert cell.metrics["period"] == ref.period
+            assert cell.metrics["worst_gap"] == ref.worst_gap
+            assert cell.metrics["best_gap"] == ref.best_gap
+
+    def test_truncated_stabilization_records_nulls(self):
+        # An exhausted round budget must yield None metrics, not a crash.
+        from repro.sweep.executor import compute_chunk
+
+        spec = _cover_spec(
+            ns=(16,), ks=(4,),
+            families=(InitFamily("all_on_one", "toward_node0"),),
+            metrics=("stabilization", "return"),
+        )
+        config = spec.configs()[0].to_dict()
+        config["max_rounds"] = 2
+        payload = {
+            "n": 16,
+            "max_rounds": 2,
+            "metrics": ["stabilization", "return"],
+            "configs": [config],
+        }
+        [(_, metrics)] = compute_chunk(payload)
+        assert metrics == {
+            "preperiod": None,
+            "period": None,
+            "worst_gap": None,
+            "best_gap": None,
+        }
+
+    def test_table_layout(self):
+        result = run_sweep(_cover_spec())
+        table = result.table()
+        assert "cover" in table.columns
+        assert len(table.rows) == len(result.results)
+
+    def test_small_chunks_cover_all_cells(self):
+        serial = run_sweep(_cover_spec())
+        chunked = run_sweep(_cover_spec(), chunk_lanes=2)
+        assert [c.metrics for c in serial.results] == [
+            c.metrics for c in chunked.results
+        ]
+
+
+class TestCache:
+    def test_second_run_is_all_hits(self, tmp_path):
+        spec = _cover_spec()
+        cache_dir = str(tmp_path / "cache")
+        first = run_sweep(spec, cache_dir=cache_dir)
+        assert first.cache_hits == 0
+        assert first.cache_misses == spec.num_configs
+        second = run_sweep(spec, cache_dir=cache_dir)
+        assert second.cache_hits == spec.num_configs
+        assert second.cache_misses == 0
+        assert [c.metrics for c in first.results] == [
+            c.metrics for c in second.results
+        ]
+
+    def test_resume_computes_only_missing_cells(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_sweep(_cover_spec(ns=(16,)), cache_dir=cache_dir)
+        grown = run_sweep(_cover_spec(ns=(16, 24)), cache_dir=cache_dir)
+        # the n=16 half is served from cache, only n=24 is computed
+        assert grown.cache_hits == _cover_spec(ns=(16,)).num_configs
+        assert grown.cache_misses == grown.cache_hits
+
+    def test_entries_are_inspectable_json(self, tmp_path):
+        spec = _cover_spec(ns=(16,), ks=(2,))
+        cache_dir = str(tmp_path / "cache")
+        run_sweep(spec, cache_dir=cache_dir)
+        cache = ResultCache(cache_dir)
+        assert len(cache) == spec.num_configs
+        config = spec.configs()[0]
+        with open(cache.path(config.config_hash)) as handle:
+            entry = json.load(handle)
+        assert entry["config"] == config.identity()
+        assert entry["metrics"]["cover"] > 0
+
+    def test_corrupt_entry_is_recomputed(self, tmp_path):
+        spec = _cover_spec(ns=(16,), ks=(2,))
+        cache_dir = str(tmp_path / "cache")
+        run_sweep(spec, cache_dir=cache_dir)
+        cache = ResultCache(cache_dir)
+        victim = cache.path(spec.configs()[0].config_hash)
+        with open(victim, "w") as handle:
+            handle.write("not json{")
+        result = run_sweep(spec, cache_dir=cache_dir)
+        assert result.cache_misses == 1
+        assert result.cache_hits == spec.num_configs - 1
+
+    def test_mismatched_identity_is_a_miss(self, tmp_path):
+        spec = _cover_spec(ns=(16,), ks=(2,))
+        cache_dir = str(tmp_path / "cache")
+        run_sweep(spec, cache_dir=cache_dir)
+        cache = ResultCache(cache_dir)
+        victim = cache.path(spec.configs()[0].config_hash)
+        with open(victim) as handle:
+            entry = json.load(handle)
+        entry["config"]["n"] = 999  # hash collision simulation
+        with open(victim, "w") as handle:
+            json.dump(entry, handle)
+        result = run_sweep(spec, cache_dir=cache_dir)
+        assert result.cache_misses == 1
+
+    def test_no_cache_dir_means_no_files(self, tmp_path):
+        run_sweep(_cover_spec(ns=(16,), ks=(2,)), cache_dir=None)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestParallel:
+    def test_two_jobs_match_serial(self, tmp_path):
+        spec = _cover_spec()
+        serial = run_sweep(spec)
+        parallel = run_sweep(
+            spec, jobs=2, cache_dir=str(tmp_path / "cache"), chunk_lanes=3
+        )
+        assert [c.metrics for c in serial.results] == [
+            c.metrics for c in parallel.results
+        ]
+        # the parallel run populated the cache for a later serial run
+        warm = run_sweep(spec, cache_dir=str(tmp_path / "cache"))
+        assert warm.cache_misses == 0
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            run_sweep(_cover_spec(), jobs=-1)
+        with pytest.raises(ValueError):
+            run_sweep(_cover_spec(), chunk_lanes=0)
+
+
+class TestProgress:
+    def test_progress_reaches_total(self):
+        calls = []
+        spec = _cover_spec(ns=(16,))
+        run_sweep(spec, progress=lambda done, total: calls.append((done, total)))
+        assert calls[-1] == (spec.num_configs, spec.num_configs)
+        assert all(total == spec.num_configs for _, total in calls)
+
+    def test_elapsed_recorded(self):
+        result = run_sweep(_cover_spec(ns=(16,), ks=(2,)))
+        assert result.elapsed > 0

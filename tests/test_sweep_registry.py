@@ -1,0 +1,94 @@
+"""Registered scenarios and the `python -m repro sweep` subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.sweep import registry, run_sweep
+from repro.sweep.spec import ScenarioSpec
+
+
+class TestRegistry:
+    def test_expected_scenarios_registered(self):
+        names = registry.scenario_names()
+        for required in ("table1", "stabilization", "cover_scaling"):
+            assert required in names
+
+    def test_every_scenario_builds_both_sizes(self):
+        for name in registry.scenario_names():
+            for quick in (False, True):
+                spec = registry.scenario(name, quick=quick)
+                assert isinstance(spec, ScenarioSpec)
+                assert spec.num_configs > 0
+                assert registry.scenario_description(name)
+
+    def test_quick_is_smaller(self):
+        for name in registry.scenario_names():
+            quick = registry.scenario(name, quick=True)
+            full = registry.scenario(name, quick=False)
+            assert max(quick.ns) <= max(full.ns)
+            assert quick.num_configs <= full.num_configs
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            registry.scenario("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            registry.register("table1", "again")(lambda quick: None)
+
+    def test_table1_grid_shape(self):
+        spec = registry.scenario("table1")
+        assert spec.metrics == ("cover",)
+        placements = {family.placement for family in spec.families}
+        assert placements == {"all_on_one", "equally_spaced"}
+
+    def test_stabilization_runs_quick(self):
+        spec = registry.scenario("stabilization", quick=True)
+        result = run_sweep(spec)
+        for cell in result.results:
+            assert cell.metrics["preperiod"] >= 0
+            assert cell.metrics["period"] >= 1
+            # Theorem 6 shape: worst in-cycle gap is O(n/k)
+            assert cell.metrics["worst_gap"] <= 6 * cell.config.n / cell.config.k
+
+
+class TestCliSweep:
+    def test_sweep_runs_and_caches(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["sweep", "table1", "--quick", "--jobs", "2", "--cache", cache_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep 'table1'" in out
+        assert "0 cells from cache" in out
+
+        assert main(
+            ["sweep", "table1", "--quick", "--jobs", "2", "--cache", cache_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        expected = registry.scenario("table1", quick=True).num_configs
+        assert f"{expected} cells from cache, 0 computed" in out
+
+    def test_sweep_without_cache(self, capsys):
+        assert main(
+            ["sweep", "table1", "--quick", "--cache", "none"]
+        ) == 0
+        assert "cache=disabled" in capsys.readouterr().out
+
+    def test_sweep_csv_export(self, tmp_path, capsys):
+        csv_dir = str(tmp_path / "csv")
+        assert main(
+            ["sweep", "table1", "--quick", "--cache", "none", "--csv", csv_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_unknown_sweep_name(self, capsys):
+        assert main(["sweep", "nope", "--cache", "none"]) == 2
+        assert "unknown sweep scenario" in capsys.readouterr().err
+
+    def test_list_mentions_sweeps(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in registry.scenario_names():
+            assert name in out

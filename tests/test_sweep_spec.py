@@ -1,0 +1,174 @@
+"""Grid expansion and deterministic hashing of sweep specs."""
+
+import pytest
+
+from repro.sweep.spec import (
+    PLACEMENTS,
+    POINTERS,
+    InitFamily,
+    ScenarioSpec,
+    SweepConfig,
+)
+
+
+def _spec(**overrides):
+    base = dict(
+        name="t",
+        ns=(16, 32),
+        ks=(2, 4),
+        families=(
+            InitFamily("all_on_one", "toward_node0"),
+            InitFamily("random", "random"),
+        ),
+        metrics=("cover",),
+        seeds=(0, 1),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestExpansion:
+    def test_grid_size_with_seed_collapse(self):
+        spec = _spec()
+        configs = spec.configs()
+        # deterministic family: 1 seed; random family: 2 seeds
+        assert len(configs) == 2 * 2 * (1 + 2)
+        assert spec.num_configs == len(configs)
+
+    def test_duplicate_grid_entries_expand_once(self):
+        spec = _spec(ns=(16, 16), families=(
+            InitFamily("all_on_one", "toward_node0"),
+            InitFamily("all_on_one", "toward_node0"),
+        ))
+        configs = spec.configs()
+        assert len(configs) == len({c.config_hash for c in configs})
+        assert len(configs) == 2  # n=16 x k in (2, 4)
+
+    def test_deterministic_order_and_budget(self):
+        spec = _spec()
+        configs = spec.configs()
+        assert configs == spec.configs()
+        for config in configs:
+            assert config.max_rounds == spec.budget(config.n)
+            assert config.metrics == ("cover",)
+
+    def test_build_matches_named_initializers(self):
+        config = _spec().configs()[0]
+        agents, directions = config.build()
+        assert agents == [0] * config.k
+        assert len(directions) == config.n
+        assert all(d in (1, -1) for d in directions)
+
+    def test_random_family_seeds_differ(self):
+        spec = _spec(families=(InitFamily("random", "random"),))
+        by_seed = {}
+        for config in spec.configs():
+            if config.n == 16 and config.k == 4:
+                by_seed[config.seed] = config.build()
+        assert by_seed[0] != by_seed[1]
+        # and are reproducible
+        again = {
+            config.seed: config.build()
+            for config in spec.configs()
+            if config.n == 16 and config.k == 4
+        }
+        assert by_seed == again
+
+    def test_every_named_initializer_builds(self):
+        n, k = 16, 3
+        for placement_name in PLACEMENTS:
+            for pointer_name in POINTERS:
+                config = SweepConfig(
+                    n=n,
+                    k=k,
+                    placement=placement_name,
+                    pointer=pointer_name,
+                    seed=0,
+                    metrics=("cover",),
+                    max_rounds=100,
+                )
+                agents, directions = config.build()
+                assert len(agents) == k
+                assert len(directions) == n
+
+
+class TestHashing:
+    def test_hash_is_stable_and_sensitive(self):
+        config = _spec().configs()[0]
+        same = SweepConfig.from_dict(config.to_dict())
+        assert same.config_hash == config.config_hash
+        bumped = SweepConfig(
+            n=config.n,
+            k=config.k + 1,
+            placement=config.placement,
+            pointer=config.pointer,
+            seed=config.seed,
+            metrics=config.metrics,
+            max_rounds=config.max_rounds,
+        )
+        assert bumped.config_hash != config.config_hash
+
+    def test_spec_hash_changes_with_grid(self):
+        assert _spec().spec_hash != _spec(ks=(2,)).spec_hash
+        assert _spec().spec_hash == _spec().spec_hash
+
+    def test_scenario_name_not_part_of_identity(self):
+        # Two scenarios sharing a cell share its cache entry.
+        a = _spec(name="a").configs()[0]
+        b = _spec(name="b").configs()[0]
+        assert a.config_hash == b.config_hash
+
+    def test_deterministic_cells_normalize_seed(self):
+        # Different seed lists must not split deterministic cells'
+        # cache identities (the seed is ignored when building them).
+        a = _spec(seeds=(0,)).configs()
+        b = _spec(seeds=(42,)).configs()
+        det_a = [c for c in a if c.placement == "all_on_one"]
+        det_b = [c for c in b if c.placement == "all_on_one"]
+        assert [c.config_hash for c in det_a] == [
+            c.config_hash for c in det_b
+        ]
+        rnd_a = [c for c in a if c.placement == "random"]
+        rnd_b = [c for c in b if c.placement == "random"]
+        assert {c.config_hash for c in rnd_a}.isdisjoint(
+            c.config_hash for c in rnd_b
+        )
+
+    def test_round_trip_rejects_schema_drift(self):
+        data = _spec().configs()[0].to_dict()
+        data["schema"] = -1
+        with pytest.raises(ValueError):
+            SweepConfig.from_dict(data)
+
+
+class TestValidation:
+    def test_unknown_placement(self):
+        with pytest.raises(ValueError):
+            InitFamily("nope", "random")
+
+    def test_unknown_pointer(self):
+        with pytest.raises(ValueError):
+            InitFamily("random", "nope")
+
+    def test_family_randomness_flag(self):
+        assert InitFamily("random", "uniform").is_random
+        assert InitFamily("all_on_one", "random").is_random
+        assert not InitFamily("all_on_one", "uniform").is_random
+
+    def test_bad_grids(self):
+        with pytest.raises(ValueError):
+            _spec(ns=())
+        with pytest.raises(ValueError):
+            _spec(ns=(2,))
+        with pytest.raises(ValueError):
+            _spec(ks=(0,))
+        with pytest.raises(ValueError):
+            _spec(families=())
+        with pytest.raises(ValueError):
+            _spec(metrics=("nope",))
+        with pytest.raises(ValueError):
+            _spec(metrics=())
+        with pytest.raises(ValueError):
+            _spec(seeds=())
+        with pytest.raises(ValueError):
+            _spec(max_rounds_factor=0)
