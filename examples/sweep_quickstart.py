@@ -12,13 +12,23 @@ The same scenarios are reachable from the command line::
 
     python -m repro sweep table1 --jobs 2 --cache out/sweep-cache
 
+A second sweep then turns on the model axis: the same grid with both
+the rotor-router and the k-random-walks baseline (walk cells as
+mean ± CI over repetitions), joined into speed-up and walk/rotor
+ratio tables — the paper's Table 1 workflow in a few lines.
+
 Run:  python examples/sweep_quickstart.py [cache_dir]
 """
 
 import sys
 import tempfile
 
-from repro.sweep import InitFamily, ScenarioSpec, run_sweep
+from repro.sweep import (
+    InitFamily,
+    ScenarioSpec,
+    run_sweep,
+    summary_tables,
+)
 
 
 def main() -> None:
@@ -57,6 +67,24 @@ def main() -> None:
         f"({result.elapsed / max(again.elapsed, 1e-9):.0f}x faster — "
         f"cache at {cache_dir})"
     )
+
+    # The model axis: rotor vs the random-walk baseline on one grid,
+    # with the k=1 cells anchoring the speed-up join.
+    versus = ScenarioSpec(
+        name="quickstart-versus",
+        ns=(64,),
+        ks=(1, 2, 4, 8),
+        families=(InitFamily("equally_spaced", "negative"),),
+        metrics=("cover",),
+        models=("rotor", "walk"),
+        repetitions=5,
+        description="rotor vs k random walks, best placement",
+    )
+    comparison = run_sweep(versus, jobs=2, cache_dir=cache_dir)
+    print()
+    for table in summary_tables(comparison):
+        print(table.render())
+        print()
 
 
 if __name__ == "__main__":

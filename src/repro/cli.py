@@ -128,15 +128,11 @@ def _cmd_sweep(
     csv_dir: str | None,
 ) -> int:
     from repro.sweep import registry
+    from repro.sweep.aggregate import summary_tables
     from repro.sweep.executor import run_sweep, stderr_progress
 
-    try:
-        spec = registry.scenario(name, quick=quick)
-    except KeyError:
-        print(
-            f"unknown sweep scenario {name!r}; try 'list'", file=sys.stderr
-        )
-        return 2
+    # Unknown names are rejected at the argparse layer in main().
+    spec = registry.scenario(name, quick=quick)
     result = run_sweep(
         spec, jobs=jobs, cache_dir=cache_dir, progress=stderr_progress
     )
@@ -147,6 +143,11 @@ def _cmd_sweep(
         claim=spec.description,
     )
     report.add_table(result.table())
+    # Aggregate views join rotor/walk cells of the same (cached) sweep:
+    # speed-up S(k) when a k=1 baseline exists, walk/rotor ratios when
+    # both models are present.
+    for extra in summary_tables(result):
+        report.add_table(extra)
     report.add_note(
         f"{result.cache_hits} cells from cache, {result.cache_misses} "
         f"computed in {result.elapsed:.2f}s "
@@ -165,6 +166,26 @@ def _cmd_all(csv_dir: str | None) -> int:
         print(f"######## {name} ########")
         status = max(status, _cmd_run(name, csv_dir))
     return status
+
+
+def _jobs_argument(text: str) -> int:
+    """argparse type for ``--jobs``: a positive worker count.
+
+    Validating here means a bad value (``--jobs -2``) exits 2 with a
+    one-line argparse message instead of surfacing a traceback from
+    deep inside ``run_sweep``.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive worker count, got {value}"
+        )
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -189,7 +210,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     sweep_parser.add_argument("name", help="scenario name (see 'list')")
     sweep_parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
+        "--jobs", type=_jobs_argument, default=1, metavar="N",
         help="worker processes (default: 1, serial)",
     )
     sweep_parser.add_argument(
@@ -210,6 +231,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         return _cmd_run(args.name, args.csv)
     if args.command == "sweep":
+        from repro.sweep import registry
+
+        if args.name not in registry.scenario_names():
+            # Reject unknown names here — with or without --quick — so
+            # every bad invocation exits 2 with one argparse-style line.
+            sweep_parser.error(
+                f"unknown sweep scenario {args.name!r}; known: "
+                + ", ".join(registry.scenario_names())
+            )
         cache_dir = None if args.cache == "none" else args.cache
         return _cmd_sweep(args.name, args.jobs, cache_dir, args.quick, args.csv)
     return _cmd_all(args.csv)

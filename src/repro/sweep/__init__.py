@@ -5,22 +5,40 @@ cached, parallel parameter sweeps:
 
 - :mod:`repro.sweep.spec` — the grid language
   (:class:`ScenarioSpec` -> :class:`SweepConfig` cells with
-  deterministic hashes);
+  deterministic hashes) including the rotor/walk model axis;
 - :mod:`repro.sweep.batch_ring` — the vectorized ``(B, n)`` kernel
   stepping many independent ring configurations per numpy op, with
   per-lane cover/stabilization/return detection;
+- :mod:`repro.sweep.batch_walk` — the vectorized random-walk kernel:
+  walk cells fan out over seeded repetitions into ``(R·B)`` lanes with
+  exact per-lane cover detection, seed-for-seed equal to the reference
+  :class:`repro.randomwalk.ring_walk.RingRandomWalks`;
 - :mod:`repro.sweep.executor` — multiprocessing execution with an
   on-disk JSON result cache;
+- :mod:`repro.sweep.aggregate` — joins rotor and walk cells of one
+  sweep into speed-up tables ``S(k) = C(n,1)/C(n,k)`` and
+  rotor-vs-walk ratio tables;
 - :mod:`repro.sweep.registry` — named scenarios behind
   ``python -m repro sweep <name>``.
 """
 
+from repro.sweep.aggregate import (
+    model_ratio_table,
+    speedup_curves,
+    speedup_table,
+    summary_tables,
+)
 from repro.sweep.batch_ring import (
     BatchLimitCycles,
     BatchRingKernel,
     batch_limit_cycles,
     batch_return_gaps,
     lanes_from_configs,
+)
+from repro.sweep.batch_walk import (
+    BatchRingWalks,
+    WalkLane,
+    walk_lanes_from_cells,
 )
 from repro.sweep.executor import (
     ConfigResult,
@@ -34,13 +52,20 @@ from repro.sweep.spec import InitFamily, ScenarioSpec, SweepConfig
 __all__ = [
     "BatchLimitCycles",
     "BatchRingKernel",
+    "BatchRingWalks",
+    "WalkLane",
     "batch_limit_cycles",
     "batch_return_gaps",
     "lanes_from_configs",
+    "walk_lanes_from_cells",
     "ConfigResult",
     "ResultCache",
     "SweepResult",
     "run_sweep",
+    "model_ratio_table",
+    "speedup_curves",
+    "speedup_table",
+    "summary_tables",
     "scenario",
     "scenario_names",
     "InitFamily",

@@ -1,0 +1,217 @@
+"""Join/aggregation layer: speed-up and model-ratio views of a sweep.
+
+One sweep over the model axis produces rotor and walk cells side by
+side; this module pairs them back up the way the paper's Table 1 does:
+
+* **speed-up curves** — ``S(k) = C(n, 1) / C(n, k)`` per (model, n,
+  placement), computed from the k = 1 baseline cell of the same sweep
+  and re-using :class:`repro.analysis.speedup.SpeedupTable`, so the
+  Θ-shape matching machinery (``Θ(k²)`` rotor best case vs
+  ``Θ(k²/log²k)`` walks, Theorem 5) applies unchanged;
+* **rotor-vs-walk ratios** — per (n, k, placement) cells present under
+  both models, how many times the walk's mean cover time exceeds the
+  deterministic rotor-router's; the walk cell's confidence interval
+  (from :mod:`repro.util.stats`) propagates into a ratio interval
+  since the rotor side is deterministic.
+
+Everything operates on a completed
+:class:`repro.sweep.executor.SweepResult` — the join is pure
+bookkeeping; no simulation happens here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.speedup import (
+    TABLE1_SHAPES,
+    SpeedupRow,
+    SpeedupTable,
+    best_matching_shape,
+)
+from repro.sweep.executor import SweepResult
+from repro.util.stats import summarize
+from repro.util.tables import Table
+
+#: Group key of one speed-up curve: (model, n, placement).
+CurveKey = tuple[str, int, str]
+
+
+@dataclass(frozen=True)
+class CoverCell:
+    """Aggregated cover value of one (model, n, k, placement) group.
+
+    Sweeps fan random placements out over seeds; this collapses those
+    sibling cells into one mean.  The CI bounds are the envelope of
+    the member cells' intervals (walk cells carry their repetition CI;
+    deterministic rotor cells a degenerate one).
+    """
+
+    model: str
+    n: int
+    k: int
+    placement: str
+    cover: float
+    ci_low: float
+    ci_high: float
+    cells: int
+
+
+def _cover_cells(result: SweepResult) -> dict[tuple[str, int, int, str], CoverCell]:
+    """Collapse per-seed cells into (model, n, k, placement) groups.
+
+    Cells without a usable cover value (truncated walk cells, rotor
+    cells that exhausted their budget) are skipped — a group with no
+    usable member simply does not appear.
+    """
+    by_group: dict[tuple[str, int, int, str], list] = {}
+    for cell in result.results:
+        cover = cell.metrics.get("cover")
+        if cover is None:
+            continue
+        key = (cell.config.model, cell.config.n, cell.config.k,
+               cell.config.placement)
+        by_group.setdefault(key, []).append(cell)
+    aggregated = {}
+    for key, members in by_group.items():
+        model, n, k, placement = key
+        covers = [float(m.metrics["cover"]) for m in members]
+        mean = summarize(covers).mean
+        lows = [
+            float(m.metrics.get("cover_ci_low", m.metrics["cover"]))
+            for m in members
+        ]
+        highs = [
+            float(m.metrics.get("cover_ci_high", m.metrics["cover"]))
+            for m in members
+        ]
+        aggregated[key] = CoverCell(
+            model=model, n=n, k=k, placement=placement,
+            cover=mean, ci_low=min(lows), ci_high=max(highs),
+            cells=len(members),
+        )
+    return aggregated
+
+
+def speedup_curves(
+    result: SweepResult, cells: dict | None = None
+) -> dict[CurveKey, SpeedupTable]:
+    """``S(k) = C(n,1)/C(n,k)`` per (model, n, placement) with a k=1 cell.
+
+    Groups whose sweep did not include the k = 1 baseline are omitted
+    (there is nothing to normalize against); within a group, ks appear
+    in ascending order.  ``cells`` accepts a precomputed
+    ``_cover_cells`` result so multi-view callers aggregate once.
+    """
+    if cells is None:
+        cells = _cover_cells(result)
+    curves: dict[CurveKey, SpeedupTable] = {}
+    baselines = {
+        (model, n, placement): cell
+        for (model, n, k, placement), cell in cells.items()
+        if k == 1 and cell.cover > 0
+    }
+    for curve_key, baseline in sorted(baselines.items()):
+        model, n, placement = curve_key
+        ks = sorted(
+            k
+            for (m, cn, k, p), cell in cells.items()
+            if (m, cn, p) == (model, n, placement) and cell.cover > 0
+        )
+        rows = tuple(
+            SpeedupRow(
+                k=k,
+                cover_time=cells[(model, n, k, placement)].cover,
+                speedup=baseline.cover / cells[(model, n, k, placement)].cover,
+            )
+            for k in ks
+        )
+        curves[curve_key] = SpeedupTable(n=n, rows=rows)
+    return curves
+
+
+def speedup_table(
+    result: SweepResult, cells: dict | None = None
+) -> Table | None:
+    """Render every speed-up curve of the sweep as one table.
+
+    Returns None when the sweep has no k = 1 baseline cell (speed-up
+    undefined), so callers can append it only when meaningful.  Each
+    curve with at least two distinct ks also reports its best-matching
+    Table 1 shape (flatness of ``S(k)/shape(k)``; 1.0 is a perfect
+    Θ-match) on its last row.
+    """
+    curves = speedup_curves(result, cells)
+    if not curves:
+        return None
+    table = Table(
+        columns=["model", "n", "placement", "k", "cover", "S(k)",
+                 "best shape", "flatness"],
+        caption=f"speed-up S(k) = C(n,1)/C(n,k) from sweep "
+        f"'{result.spec.name}'",
+        formats=[None, "d", None, "d", ".1f", ".3f", None, ".2f"],
+    )
+    for (model, n, placement), curve in curves.items():
+        shape_name, flat = (None, None)
+        if len(set(curve.ks())) > 1:
+            shape_name, flat = best_matching_shape(curve, TABLE1_SHAPES)
+        for row in curve.rows:
+            last = row is curve.rows[-1]
+            table.add_row(
+                model, n, placement, row.k, row.cover_time, row.speedup,
+                shape_name if last else None, flat if last else None,
+            )
+    return table
+
+
+def model_ratio_table(
+    result: SweepResult, cells: dict | None = None
+) -> Table | None:
+    """Walk-over-rotor cover ratios for cells present under both models.
+
+    The ratio answers the paper's comparative question directly: how
+    much slower are k random walks than the deterministic rotor-router
+    from the same placement?  The walk CI maps to a ratio interval by
+    dividing its bounds by the (deterministic) rotor value.  Returns
+    None when the sweep has no (n, k, placement) pair covered by both
+    models.
+    """
+    if cells is None:
+        cells = _cover_cells(result)
+    pairs = sorted(
+        (n, k, placement)
+        for (model, n, k, placement), cell in cells.items()
+        if model == "rotor"
+        and cell.cover > 0  # k >= n placements cover at round 0
+        and ("walk", n, k, placement) in cells
+    )
+    if not pairs:
+        return None
+    table = Table(
+        columns=["n", "k", "placement", "rotor cover", "walk mean",
+                 "walk CI low", "walk CI high", "walk/rotor"],
+        caption=f"rotor vs random-walk cover times from sweep "
+        f"'{result.spec.name}'",
+        formats=["d", "d", None, ".1f", ".1f", ".1f", ".1f", ".2f"],
+    )
+    for n, k, placement in pairs:
+        rotor = cells[("rotor", n, k, placement)]
+        walk = cells[("walk", n, k, placement)]
+        table.add_row(
+            n, k, placement, rotor.cover, walk.cover,
+            walk.ci_low, walk.ci_high, walk.cover / rotor.cover,
+        )
+    return table
+
+
+def summary_tables(result: SweepResult) -> list[Table]:
+    """Every applicable aggregate view of ``result``, in display order."""
+    cells = _cover_cells(result)
+    return [
+        table
+        for table in (
+            speedup_table(result, cells),
+            model_ratio_table(result, cells),
+        )
+        if table is not None
+    ]

@@ -1,0 +1,269 @@
+"""Vectorized batch random-walk kernel: many walk systems per numpy op.
+
+The paper's headline claim is comparative — the rotor-router against
+*parallel random walks* — so sweeps need the stochastic side of
+Table 1 at the same batched scale as :mod:`repro.sweep.batch_ring`
+gives the deterministic side.  A walk cell fans out over R seeded
+repetitions; a chunk of cells therefore becomes ``R·B`` independent
+lanes, each lane being one k-walker system on the n-ring.
+
+The kernel advances all lanes block-wise, exactly like the reference
+:class:`repro.randomwalk.ring_walk.RingRandomWalks`: per block every
+lane draws a ``(block, k)`` increment matrix from its own generator,
+the trajectories are recovered with one cumulative sum, and exact
+first-visit rounds are extracted from the flattened position matrix.
+The difference is the data layout: the per-lane trajectories are
+concatenated along the walker axis into one ``(block, ΣkR)`` matrix,
+so the cumulative sum, the modulo, and the first-visit ``np.unique``
+scan run once per block instead of once per lane per block — the
+per-block Python overhead is paid once for the whole batch.
+
+**Seed-for-seed equivalence**: lane ``b`` with seed ``s`` consumes its
+generator identically to ``RingRandomWalks(n, positions, seed=s)``
+driven with the same ``block_size`` (the draws are per-lane and
+block-aligned), so per-lane cover rounds are *exactly* those of the
+reference — not merely equal in distribution.  The equivalence is
+pinned by ``tests/test_sweep_batch_walk.py`` over randomized
+configurations.  Lanes that cover stop drawing, mirroring the
+reference's early exit, which keeps the streams aligned and the cost
+proportional to uncovered lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+#: Default rounds per block; must match
+#: :class:`repro.randomwalk.ring_walk.RingRandomWalks` for the
+#: seed-for-seed equivalence documented above.
+DEFAULT_BLOCK_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class WalkLane:
+    """One independent k-walker system: starting nodes plus its seed."""
+
+    positions: tuple[int, ...]
+    seed: int
+
+
+class BatchRingWalks:
+    """``L`` independent k-walk systems on n-rings, advanced together.
+
+    Parameters
+    ----------
+    n:
+        Ring size shared by every lane (>= 3).
+    lanes:
+        One :class:`WalkLane` per system; lanes may have different
+        walker counts (the walker axis is ragged and concatenated).
+    block_size:
+        Rounds simulated per vectorized block.  Leave at the default
+        to stay seed-for-seed equal to ``RingRandomWalks``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        lanes: Sequence[WalkLane],
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if n < 3:
+            raise ValueError(f"ring requires n >= 3, got {n}")
+        if not lanes:
+            raise ValueError("at least one lane is required")
+        if block_size < 1:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self.n = n
+        self.block_size = block_size
+        self.num_lanes = len(lanes)
+        self.round = 0
+
+        self._rngs = [make_rng(lane.seed) for lane in lanes]
+        self._positions: list[np.ndarray] = []
+        for b, lane in enumerate(lanes):
+            positions = np.asarray(lane.positions, dtype=np.int64)
+            if positions.size == 0:
+                raise ValueError(f"lane {b}: at least one walker is required")
+            if np.any((positions < 0) | (positions >= n)):
+                raise ValueError(f"lane {b}: walker position out of range")
+            self._positions.append(positions)
+
+        #: Exact first-visit round per (lane, node); -1 = not yet visited.
+        self.first_visit = np.full((self.num_lanes, n), -1, dtype=np.int64)
+        for b, positions in enumerate(self._positions):
+            self.first_visit[b, positions] = 0
+        self.unvisited = np.count_nonzero(self.first_visit < 0, axis=1)
+        #: Exact cover round per lane; -1 = not yet covered.
+        self.cover_rounds = np.full(self.num_lanes, -1, dtype=np.int64)
+        self.cover_rounds[self.unvisited == 0] = 0
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    #: Rounds per first-visit scan slice inside a block.  The block
+    #: size is fixed by RNG-stream parity with the reference, but the
+    #: *detection scan* is free to run in shorter slices: updating
+    #: ``first_visit`` between slices lets the candidate filter discard
+    #: revisits early, and lanes that cover mid-block drop out of the
+    #: remaining slices entirely.
+    _SCAN_SLICE = 64
+
+    def _advance_block(self, active: np.ndarray, block: int) -> None:
+        """Advance the ``active`` lanes ``block`` rounds in one batch.
+
+        The per-lane increment draws are deliberately separate calls on
+        separate generators (that is what makes each lane reproduce its
+        standalone reference run); everything downstream — cumulative
+        sum, modulo, first-visit extraction — runs on the concatenated
+        ``(block, W)`` matrix.
+        """
+        increments = [
+            self._rngs[b].choice(
+                (-1, 1), size=(block, self._positions[b].size)
+            ).astype(np.int64)
+            for b in active
+        ]
+        widths = [inc.shape[1] for inc in increments]
+        inc_cat = (
+            np.concatenate(increments, axis=1)
+            if len(increments) > 1
+            else increments[0]
+        )
+        pos_cat = np.concatenate([self._positions[b] for b in active])
+        trajectory = (
+            pos_cat[None, :] + np.cumsum(inc_cat, axis=0)
+        ) % self.n
+
+        # Walker -> owning lane; (lane, node) flattens to the global
+        # node id lane*n + node, an index into first_visit.ravel().
+        walker_lane = np.repeat(np.asarray(active, dtype=np.int64), widths)
+        flat_first = self.first_visit.ravel()
+        scan_cols = np.flatnonzero(self.cover_rounds[walker_lane] < 0)
+        for t0 in range(0, block, self._SCAN_SLICE):
+            if not scan_cols.size:
+                break  # every scanned lane has covered
+            t1 = min(block, t0 + self._SCAN_SLICE)
+            flat_sub = (
+                walker_lane[scan_cols][None, :] * self.n
+                + trajectory[t0:t1, scan_cols]
+            ).ravel()
+            # Restrict the first-occurrence sort to still-unvisited
+            # nodes: the total sorted volume over a run is O(visits),
+            # not O(rounds * walkers).  Candidates ascend in row-major
+            # (= time) order, so np.unique's first index is the
+            # earliest visit.
+            candidates = np.flatnonzero(flat_first[flat_sub] < 0)
+            if not candidates.size:
+                continue
+            visited, first_index = np.unique(
+                flat_sub[candidates], return_index=True
+            )
+            rows = candidates[first_index] // scan_cols.size
+            flat_first[visited] = self.round + t0 + rows + 1
+            lanes_hit = visited // self.n
+            self.unvisited -= np.bincount(
+                lanes_hit, minlength=self.num_lanes
+            )
+            newly = np.unique(lanes_hit)
+            covered = newly[
+                (self.unvisited[newly] == 0) & (self.cover_rounds[newly] < 0)
+            ]
+            if covered.size:
+                # Exact: the cover round is the latest first visit, no
+                # matter where inside the slice it happened.
+                self.cover_rounds[covered] = (
+                    self.first_visit[covered].max(axis=1)
+                )
+                scan_cols = scan_cols[
+                    self.cover_rounds[walker_lane[scan_cols]] < 0
+                ]
+
+        last = trajectory[-1]
+        offset = 0
+        for b, width in zip(active, widths):
+            self._positions[b] = last[offset:offset + width].copy()
+            offset += width
+        self.round += block
+
+    def _uncovered(self) -> np.ndarray:
+        return np.flatnonzero(self.cover_rounds < 0)
+
+    def run(self, rounds: int) -> None:
+        """Advance every lane ``rounds`` rounds (block-wise)."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        all_lanes = np.arange(self.num_lanes)
+        remaining = rounds
+        while remaining > 0:
+            block = min(self.block_size, remaining)
+            self._advance_block(all_lanes, block)
+            remaining -= block
+
+    def run_until_covered(
+        self, max_rounds: int, strict: bool = True
+    ) -> np.ndarray:
+        """Advance until every lane covers; per-lane exact cover rounds.
+
+        With ``strict``, lanes still uncovered after ``max_rounds``
+        raise ``RuntimeError`` (mirroring the reference); otherwise
+        they report -1, letting sweeps record truncation instead of
+        dying mid-grid.  Covered lanes stop drawing from their
+        generators, exactly like a standalone run that has returned.
+        """
+        active = self._uncovered()
+        while active.size:
+            if self.round >= max_rounds:
+                if strict:
+                    raise RuntimeError(
+                        f"{active.size} of {self.num_lanes} lanes not "
+                        f"covered within {max_rounds} rounds"
+                    )
+                break
+            block = min(self.block_size, max_rounds - self.round)
+            self._advance_block(active, block)
+            active = self._uncovered()
+        return self.cover_rounds.copy()
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    def positions_lane(self, lane: int) -> list[int]:
+        """Current walker positions of one lane (walker order preserved)."""
+        return [int(v) for v in self._positions[lane]]
+
+    def unvisited_lane(self, lane: int) -> int:
+        return int(self.unvisited[lane])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchRingWalks(n={self.n}, lanes={self.num_lanes}, "
+            f"round={self.round})"
+        )
+
+
+def walk_lanes_from_cells(
+    cells: Sequence[tuple[Sequence[int], Sequence[int]]],
+) -> tuple[list[WalkLane], list[tuple[int, int]]]:
+    """Fan ``(agents, rep_seeds)`` cells out into repetition lanes.
+
+    Returns the flat lane list plus per-cell ``(start, stop)`` slices
+    into it, so callers can aggregate per-cell statistics from the
+    kernel's flat per-lane results.
+    """
+    lanes: list[WalkLane] = []
+    slices: list[tuple[int, int]] = []
+    for agents, rep_seeds in cells:
+        if not rep_seeds:
+            raise ValueError("every cell needs at least one repetition seed")
+        start = len(lanes)
+        positions = tuple(int(a) for a in agents)
+        lanes.extend(WalkLane(positions=positions, seed=int(s)) for s in rep_seeds)
+        slices.append((start, len(lanes)))
+    return lanes, slices

@@ -6,10 +6,14 @@ results in three stages:
 1. **cache probe** — every expanded cell is looked up in the cache
    directory by its ``config_hash``; hits are served without any
    simulation, which is what makes repeated and resumed sweeps free;
-2. **batch planning** — cache misses are grouped by ring size and
-   chunked; each chunk becomes one :class:`repro.sweep.batch_ring.
-   BatchRingKernel` invocation stepping all of the chunk's lanes with
-   shared vectorized rounds;
+2. **batch planning** — cache misses are grouped by model, ring size,
+   round budget and metric set, then chunked; a rotor chunk becomes
+   one :class:`repro.sweep.batch_ring.BatchRingKernel` invocation
+   stepping all of the chunk's lanes with shared vectorized rounds,
+   and a walk chunk one :class:`repro.sweep.batch_walk.BatchRingWalks`
+   invocation whose lanes are the cells' seeded repetitions (walk
+   chunks are additionally capped by total walker count, since the
+   block buffers scale with ``Σ k·repetitions``);
 3. **execution** — chunks run in-process (``jobs <= 1``) or across a
    ``multiprocessing`` pool, with per-chunk progress reporting; fresh
    results are written back to the cache as they arrive.
@@ -39,12 +43,20 @@ from repro.sweep.batch_ring import (
     batch_return_gaps,
     lanes_from_configs,
 )
+from repro.sweep.batch_walk import BatchRingWalks, walk_lanes_from_cells
 from repro.sweep.spec import ScenarioSpec, SweepConfig
+from repro.util.stats import normal_ci, summarize
 from repro.util.tables import Table
 
 #: Lanes per kernel invocation: large enough to amortize numpy
 #: dispatch, small enough to keep many chunks in flight per worker.
 DEFAULT_CHUNK_LANES = 64
+
+#: Walker cap per walk chunk: the walk kernel's block buffers are
+#: ``(block_size, Σ k·repetitions)`` int64 matrices, so chunks are
+#: additionally split once their total walker count crosses this
+#: (4096 walkers ≈ 32 MiB per 1024-round block buffer).
+DEFAULT_WALK_CHUNK_WALKERS = 4096
 
 ProgressFn = Callable[[int, int], None]
 
@@ -115,7 +127,10 @@ class SweepResult:
     cache_misses: int = 0
 
     _METRIC_COLUMNS = (
-        ("cover", "d"),
+        ("cover", ".1f"),
+        ("cover_ci_low", ".1f"),
+        ("cover_ci_high", ".1f"),
+        ("cover_reps", "d"),
         ("preperiod", "d"),
         ("period", "d"),
         ("worst_gap", ".0f"),
@@ -123,25 +138,31 @@ class SweepResult:
     )
 
     def table(self) -> Table:
-        """Render every cell as one row (generic sweep layout)."""
+        """Render every cell as one row (generic sweep layout).
+
+        Stochastic (walk) cells report their repetition mean in the
+        ``cover`` column plus the CI bounds and repetition count; the
+        CI columns only appear when some cell recorded them.
+        """
         present = [
             (name, fmt)
             for name, fmt in self._METRIC_COLUMNS
             if any(name in r.metrics for r in self.results)
         ]
         table = Table(
-            columns=["n", "k", "placement", "pointers", "seed"]
+            columns=["model", "n", "k", "placement", "pointers", "seed"]
             + [name for name, _ in present]
             + ["cached"],
             caption=f"sweep '{self.spec.name}': "
             f"{len(self.results)} configurations",
-            formats=["d", "d", None, None, "d"]
+            formats=[None, "d", "d", None, None, "d"]
             + [fmt for _, fmt in present]
             + [None],
         )
         for result in self.results:
             config = result.config
             table.add_row(
+                config.model,
                 config.n,
                 config.k,
                 config.placement,
@@ -154,12 +175,20 @@ class SweepResult:
 
 
 def compute_chunk(payload: dict) -> list[tuple[str, dict]]:
-    """Run one chunk of same-``n`` cells through the batch kernel.
+    """Run one chunk of same-model, same-``n`` cells through a kernel.
 
     ``payload`` is a plain dict (picklable for worker processes) with
-    the ring size, round budget, metric list and the cells' dict forms.
-    Returns ``(config_hash, metrics)`` pairs in chunk order.
+    the model, ring size, round budget, metric list and the cells'
+    dict forms.  Returns ``(config_hash, metrics)`` pairs in chunk
+    order.
     """
+    if payload["model"] == "walk":
+        return _compute_walk_chunk(payload)
+    return _compute_rotor_chunk(payload)
+
+
+def _compute_rotor_chunk(payload: dict) -> list[tuple[str, dict]]:
+    """Rotor cells: one deterministic lane each, batch ring kernel."""
     n = payload["n"]
     max_rounds = payload["max_rounds"]
     metrics: Sequence[str] = payload["metrics"]
@@ -213,26 +242,119 @@ def compute_chunk(payload: dict) -> list[tuple[str, dict]]:
     ]
 
 
+def _compute_walk_chunk(payload: dict) -> list[tuple[str, dict]]:
+    """Walk cells: fan repetitions into lanes, aggregate mean/CI back.
+
+    Each cell's repetitions run on the derived seeds of
+    :meth:`repro.sweep.spec.SweepConfig.rep_seeds`, seed-for-seed
+    identical to standalone :class:`repro.randomwalk.ring_walk.
+    RingRandomWalks` runs.  A cell whose budget truncates any
+    repetition reports ``cover=None`` (the mean of a censored sample
+    would be biased); the repetition count and truncation count are
+    always recorded.
+    """
+    n = payload["n"]
+    max_rounds = payload["max_rounds"]
+    configs = [SweepConfig.from_dict(data) for data in payload["configs"]]
+    lanes, slices = walk_lanes_from_cells(
+        [(config.build_agents(), config.rep_seeds()) for config in configs]
+    )
+    covers = BatchRingWalks(n, lanes).run_until_covered(
+        max_rounds, strict=False
+    )
+    out: list[tuple[str, dict]] = []
+    for config, (start, stop) in zip(configs, slices):
+        samples = covers[start:stop]
+        truncated = int(np.count_nonzero(samples < 0))
+        metrics: dict = {
+            "cover_reps": int(stop - start),
+            "cover_truncated": truncated,
+        }
+        if truncated:
+            metrics.update(
+                cover=None, cover_std=None,
+                cover_ci_low=None, cover_ci_high=None,
+            )
+        else:
+            values = [float(value) for value in samples]
+            summary = summarize(values)
+            # normal_ci degenerates to (mean, mean) for singletons
+            low, high = normal_ci(values)
+            metrics.update(
+                cover=summary.mean,
+                cover_std=summary.std,
+                cover_ci_low=low,
+                cover_ci_high=high,
+            )
+        out.append((config.config_hash, metrics))
+    return out
+
+
 def _plan_chunks(
-    misses: list[SweepConfig], chunk_lanes: int
+    misses: list[SweepConfig],
+    chunk_lanes: int,
+    walk_chunk_walkers: int = DEFAULT_WALK_CHUNK_WALKERS,
 ) -> list[dict]:
-    """Group cache misses by (n, budget) and slice into chunk payloads."""
-    groups: dict[tuple[int, int], list[SweepConfig]] = {}
+    """Group misses by (model, n, budget, metrics); slice into payloads.
+
+    The metric tuple is part of the group key: a chunk's payload
+    carries exactly one metric set, so heterogeneous miss lists can
+    never compute (and cache) the wrong metrics for some of their
+    cells.  Walk chunks are additionally split by total walker count
+    (``Σ k·repetitions``), which bounds the walk kernel's block-buffer
+    memory regardless of how many repetitions a cell fans out into.
+    """
+    groups: dict[
+        tuple[str, int, int, tuple[str, ...]], list[SweepConfig]
+    ] = {}
     for config in misses:
-        groups.setdefault((config.n, config.max_rounds), []).append(config)
+        key = (config.model, config.n, config.max_rounds, config.metrics)
+        groups.setdefault(key, []).append(config)
     payloads = []
-    for (n, max_rounds), members in sorted(groups.items()):
-        for start in range(0, len(members), chunk_lanes):
-            chunk = members[start:start + chunk_lanes]
+    for (model, n, max_rounds, metrics), members in sorted(groups.items()):
+        for chunk in _slice_chunks(
+            model, members, chunk_lanes, walk_chunk_walkers
+        ):
             payloads.append(
                 {
+                    "model": model,
                     "n": n,
                     "max_rounds": max_rounds,
-                    "metrics": list(chunk[0].metrics),
+                    "metrics": list(metrics),
                     "configs": [config.to_dict() for config in chunk],
                 }
             )
     return payloads
+
+
+def _slice_chunks(
+    model: str,
+    members: list[SweepConfig],
+    chunk_lanes: int,
+    walk_chunk_walkers: int,
+) -> list[list[SweepConfig]]:
+    """Split one group's members into kernel-sized chunks."""
+    if model != "walk":
+        return [
+            members[start:start + chunk_lanes]
+            for start in range(0, len(members), chunk_lanes)
+        ]
+    chunks: list[list[SweepConfig]] = []
+    current: list[SweepConfig] = []
+    walkers = 0
+    for config in members:
+        weight = config.k * config.repetitions
+        if current and (
+            len(current) >= chunk_lanes
+            or walkers + weight > walk_chunk_walkers
+        ):
+            chunks.append(current)
+            current, walkers = [], 0
+        current.append(config)
+        walkers += weight
+    if current:
+        chunks.append(current)
+    return chunks
 
 
 def stderr_progress(done: int, total: int) -> None:

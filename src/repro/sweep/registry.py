@@ -8,6 +8,13 @@ experiment scripts on top of the sweep subsystem:
 * ``table1`` — the rotor-router cover rows of Table 1 (worst placement
   all-on-one/toward-node-0, best placement equally-spaced under the
   negative adversary) swept over k;
+* ``table1_full`` — the actual Table 1: both models (rotor-router and
+  k random walks) over both placements, walk cells as mean ± CI over
+  seeded repetitions, with per-k speed-up and walk/rotor ratio tables
+  joined from the same sweep;
+* ``speedup`` — the speed-up study ``S(k) = C(n,1)/C(n,k)`` for both
+  models (the paper's Θ(k²) rotor vs Θ(k²/log²k) walk contrast,
+  Theorem 5), anchored by the k = 1 baseline cell;
 * ``stabilization`` — the time-to-limit-cycle extension study:
   preperiod, period and in-cycle return gaps across initialization
   families including random ones;
@@ -74,6 +81,56 @@ def _table1(quick: bool) -> ScenarioSpec:
         ),
         metrics=("cover",),
         description="deterministic cover-time columns of Table 1",
+    )
+
+
+#: The two Table 1 placements: the Theorem 1 worst case and the
+#: Theorem 3 best placement under the Theorem 4 pointer adversary
+#: (walk cells ignore the pointer half).
+_TABLE1_FAMILIES = (
+    InitFamily("all_on_one", "toward_node0"),
+    InitFamily("equally_spaced", "negative"),
+)
+
+
+@register(
+    "table1_full",
+    "Table 1, both models: rotor-router vs k random walks (mean ± CI)",
+)
+def _table1_full(quick: bool) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table1_full",
+        ns=(128,) if quick else (512,),
+        # k = 1 anchors the speed-up column S(k) = C(n,1)/C(n,k).
+        ks=(1, 2, 4, 8) if quick else (1, 2, 4, 8, 16, 32),
+        families=_TABLE1_FAMILIES,
+        metrics=("cover",),
+        models=("rotor", "walk"),
+        repetitions=5 if quick else 10,
+        description=(
+            "cover-time columns of Table 1 for both models, joined "
+            "into per-k speed-ups and walk/rotor ratios"
+        ),
+    )
+
+
+@register(
+    "speedup",
+    "speed-up S(k)=C(n,1)/C(n,k) for both models (Theorem 5 contrast)",
+)
+def _speedup(quick: bool) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="speedup",
+        ns=(64,) if quick else (256, 512),
+        ks=(1, 2, 4) if quick else (1, 2, 4, 8, 16, 32),
+        families=_TABLE1_FAMILIES,
+        metrics=("cover",),
+        models=("rotor", "walk"),
+        repetitions=5 if quick else 10,
+        description=(
+            "k-agent speed-up of both models: Θ(k²) rotor best case "
+            "vs Θ(k²/log²k) random walks"
+        ),
     )
 
 

@@ -15,6 +15,13 @@ placement under the Theorem 4 adversary, and so on.  Random families
 (``random`` placement or pointers) fan out over the spec's seeds;
 deterministic families collapse to a single seed so the grid never
 recomputes identical cells.
+
+Specs also carry a **model axis**: every cell simulates either the
+deterministic rotor-router (``model="rotor"``) or the paper's baseline
+of k independent random walks (``model="walk"``).  Walk cells ignore
+pointer initializations (walks have no rotors — the pointer name is
+normalized to :data:`WALK_POINTER`) and fan out over ``repetitions``
+seeded repetitions *inside* the cell, coming back as mean/CI metrics.
 """
 
 from __future__ import annotations
@@ -31,10 +38,27 @@ from repro.util.rng import derive_seed
 
 #: Bump when the identity layout or initializer semantics change, so
 #: stale cache entries from older code are never served.
-SCHEMA_VERSION = 1
+#: v2: added the ``model`` axis and the ``repetitions`` field.
+SCHEMA_VERSION = 2
 
 #: Metrics a sweep can record per cell.
 METRICS = ("cover", "stabilization", "return")
+
+#: Simulation models a cell can run.
+MODELS = ("rotor", "walk")
+
+#: Metrics each model supports: random walks have no rotors, hence no
+#: limit cycle to stabilize into and no deterministic return gaps.
+MODEL_METRICS = {
+    "rotor": frozenset(METRICS),
+    "walk": frozenset({"cover"}),
+}
+
+#: Pointer-name sentinel for walk cells: walks have no rotors, so all
+#: pointer initializations collapse to this one name (otherwise two
+#: families sharing a placement would split one walk measurement into
+#: two cache identities).
+WALK_POINTER = "none"
 
 PlacementFn = Callable[[int, int, int], list[int]]
 PointerFn = Callable[[int, Sequence[int], int], list[int]]
@@ -106,9 +130,16 @@ class SweepConfig:
     """One concrete cell of a sweep grid.
 
     The identity — and hence the cache key — is everything that
-    determines the simulation's outputs: the ring size, agent count,
-    both initializer names, the seed, the metric set and the round
-    budget.  The scenario name is deliberately *not* part of it.
+    determines the simulation's outputs: the model, the ring size,
+    agent count, both initializer names, the seed, the repetition
+    count, the metric set and the round budget.  The scenario name is
+    deliberately *not* part of it.
+
+    Walk cells (``model="walk"``) carry the :data:`WALK_POINTER`
+    sentinel instead of a pointer name and a ``repetitions`` count > 1:
+    the cell is one stochastic measurement whose repetitions run on
+    independent derived seeds (:meth:`rep_seeds`) and aggregate into
+    mean/CI metrics.
     """
 
     n: int
@@ -118,16 +149,20 @@ class SweepConfig:
     seed: int
     metrics: tuple[str, ...]
     max_rounds: int
+    model: str = "rotor"
+    repetitions: int = 1
 
     def identity(self) -> dict:
         """Canonical JSON-stable identity used for hashing and caching."""
         return {
             "schema": SCHEMA_VERSION,
+            "model": self.model,
             "n": self.n,
             "k": self.k,
             "placement": self.placement,
             "pointer": self.pointer,
             "seed": self.seed,
+            "repetitions": self.repetitions,
             "metrics": list(self.metrics),
             "max_rounds": self.max_rounds,
         }
@@ -139,21 +174,50 @@ class SweepConfig:
 
     @property
     def family(self) -> InitFamily:
+        """The named initialization pair (rotor cells only: walk cells
+        carry the ``none`` pointer sentinel, which is not a family)."""
         return InitFamily(self.placement, self.pointer)
 
+    def build_agents(self) -> list[int]:
+        """Materialize the agent placement for this cell.
+
+        Shared by both models — a rotor cell and a walk cell with the
+        same (n, k, placement, seed) start from identical positions, so
+        rotor-vs-walk comparisons are placement-for-placement fair.
+        """
+        return PLACEMENTS[self.placement](
+            self.n, self.k, derive_seed(self.seed, "placement", self.n, self.k)
+        )
+
     def build(self) -> tuple[list[int], list[int]]:
-        """Materialize ``(agents, directions)`` for this cell.
+        """Materialize ``(agents, directions)`` for a rotor cell.
 
         Placement and pointer draws get independent derived streams so
         adding one initializer never shifts another's randomness.
         """
-        agents = PLACEMENTS[self.placement](
-            self.n, self.k, derive_seed(self.seed, "placement", self.n, self.k)
-        )
+        if self.model != "rotor":
+            raise ValueError(
+                f"build() is rotor-only; {self.model!r} cells have no "
+                "pointer directions (use build_agents / rep_seeds)"
+            )
+        agents = self.build_agents()
         directions = POINTERS[self.pointer](
             self.n, agents, derive_seed(self.seed, "pointer", self.n, self.k)
         )
         return agents, directions
+
+    def rep_seeds(self) -> tuple[int, ...]:
+        """Independent derived seeds, one per stochastic repetition.
+
+        Each seed is exactly what a standalone
+        :class:`repro.randomwalk.ring_walk.RingRandomWalks` run of this
+        cell's repetition would receive — the batch walk kernel is
+        pinned to it seed-for-seed.
+        """
+        return tuple(
+            derive_seed(self.seed, "walk-cover", self.n, self.k, rep)
+            for rep in range(self.repetitions)
+        )
 
     def to_dict(self) -> dict:
         """Plain-dict form (pickled to worker processes, stored in cache)."""
@@ -174,6 +238,8 @@ class SweepConfig:
             seed=int(data["seed"]),
             metrics=tuple(data["metrics"]),
             max_rounds=int(data["max_rounds"]),
+            model=str(data["model"]),
+            repetitions=int(data["repetitions"]),
         )
 
 
@@ -193,6 +259,12 @@ class ScenarioSpec:
     families: tuple[InitFamily, ...]
     metrics: tuple[str, ...] = ("cover",)
     seeds: tuple[int, ...] = (0,)
+    #: Which simulation models to sweep; walk cells are stochastic and
+    #: fan out over ``repetitions`` internal repetitions.
+    models: tuple[str, ...] = ("rotor",)
+    #: Repetitions per stochastic (walk) cell; rotor cells are
+    #: deterministic and always run once.
+    repetitions: int = 1
     #: Round budget per cell: ``max_rounds_factor * n² + 1024``.  The
     #: default covers both cover runs (<= 8 n² in the worst case) and
     #: Brent's stabilization search (preperiod is O(n²) on the ring).
@@ -213,6 +285,24 @@ class ScenarioSpec:
                 raise ValueError(
                     f"unknown metric {metric!r}; known: {METRICS}"
                 )
+        if not self.models:
+            raise ValueError("at least one model is required")
+        for model in self.models:
+            if model not in MODELS:
+                raise ValueError(
+                    f"unknown model {model!r}; known: {MODELS}"
+                )
+            unsupported = set(self.metrics) - MODEL_METRICS[model]
+            if unsupported:
+                raise ValueError(
+                    f"model {model!r} does not support metrics "
+                    f"{sorted(unsupported)}; supported: "
+                    f"{sorted(MODEL_METRICS[model])}"
+                )
+        if self.repetitions < 1:
+            raise ValueError(
+                f"repetitions must be positive, got {self.repetitions}"
+            )
         if not self.seeds:
             raise ValueError("at least one seed is required")
         if self.max_rounds_factor < 1:
@@ -230,30 +320,49 @@ class ScenarioSpec:
         their deterministic cells.  Duplicate grid entries (repeated
         sizes, repeated families) expand once, keeping cell counts,
         progress totals and cache statistics consistent.
+
+        Walk cells normalize the pointer name to :data:`WALK_POINTER`
+        (walks have no rotors), so families sharing a placement expand
+        to one walk cell; their seed collapses unless the *placement*
+        is random — the stochastic walk itself varies over the cell's
+        internal repetitions, not over the spec's seed axis.
         """
         cells: list[SweepConfig] = []
         seen: set[tuple] = set()
         metrics = tuple(self.metrics)
-        for n in self.ns:
-            for k in self.ks:
-                for family in self.families:
-                    seeds = self.seeds if family.is_random else (0,)
-                    for seed in seeds:
-                        cell_id = (n, k, family.placement, family.pointer, seed)
-                        if cell_id in seen:
-                            continue
-                        seen.add(cell_id)
-                        cells.append(
-                            SweepConfig(
-                                n=n,
-                                k=k,
-                                placement=family.placement,
-                                pointer=family.pointer,
-                                seed=seed,
-                                metrics=metrics,
-                                max_rounds=self.budget(n),
+        for model in self.models:
+            for n in self.ns:
+                for k in self.ks:
+                    for family in self.families:
+                        if model == "walk":
+                            pointer = WALK_POINTER
+                            repetitions = self.repetitions
+                            fan_seeds = family.placement in RANDOM_PLACEMENTS
+                        else:
+                            pointer = family.pointer
+                            repetitions = 1
+                            fan_seeds = family.is_random
+                        seeds = self.seeds if fan_seeds else (0,)
+                        for seed in seeds:
+                            cell_id = (
+                                model, n, k, family.placement, pointer, seed
                             )
-                        )
+                            if cell_id in seen:
+                                continue
+                            seen.add(cell_id)
+                            cells.append(
+                                SweepConfig(
+                                    n=n,
+                                    k=k,
+                                    placement=family.placement,
+                                    pointer=pointer,
+                                    seed=seed,
+                                    metrics=metrics,
+                                    max_rounds=self.budget(n),
+                                    model=model,
+                                    repetitions=repetitions,
+                                )
+                            )
         return cells
 
     @property

@@ -1,0 +1,142 @@
+"""Join/aggregation layer: speed-up curves and rotor-vs-walk ratios."""
+
+import math
+
+import pytest
+
+from repro.sweep.aggregate import (
+    model_ratio_table,
+    speedup_curves,
+    speedup_table,
+    summary_tables,
+)
+from repro.sweep.executor import ConfigResult, SweepResult, run_sweep
+from repro.sweep.spec import InitFamily, ScenarioSpec, SweepConfig
+
+
+def _spec(**overrides):
+    base = dict(
+        name="agg-test",
+        ns=(16,),
+        ks=(1, 2, 4),
+        families=(InitFamily("all_on_one", "toward_node0"),),
+        metrics=("cover",),
+        models=("rotor", "walk"),
+        repetitions=3,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def _synthetic_result(cells):
+    """A SweepResult from (model, n, k, placement, metrics[, seed]) tuples."""
+    spec = _spec()
+    results = []
+    for model, n, k, placement, metrics, *rest in cells:
+        config = SweepConfig(
+            n=n, k=k, placement=placement,
+            pointer="toward_node0" if model == "rotor" else "none",
+            seed=rest[0] if rest else 0,
+            metrics=("cover",), max_rounds=10_000,
+            model=model, repetitions=1 if model == "rotor" else 3,
+        )
+        results.append(ConfigResult(config=config, metrics=metrics, cached=False))
+    return SweepResult(spec=spec, results=results, elapsed=0.0)
+
+
+class TestSpeedupCurves:
+    def test_curves_normalize_against_k1(self):
+        result = _synthetic_result([
+            ("rotor", 16, 1, "all_on_one", {"cover": 120.0}),
+            ("rotor", 16, 2, "all_on_one", {"cover": 60.0}),
+            ("rotor", 16, 4, "all_on_one", {"cover": 30.0}),
+        ])
+        curves = speedup_curves(result)
+        [curve] = curves.values()
+        assert list(curves) == [("rotor", 16, "all_on_one")]
+        assert curve.ks() == [1, 2, 4]
+        assert curve.speedups() == pytest.approx([1.0, 2.0, 4.0])
+
+    def test_no_baseline_no_curves(self):
+        result = _synthetic_result([
+            ("rotor", 16, 2, "all_on_one", {"cover": 60.0}),
+        ])
+        assert speedup_curves(result) == {}
+        assert speedup_table(result) is None
+        assert summary_tables(result) == []
+
+    def test_seed_siblings_average(self):
+        # Random placements fan out over seeds; the curve uses the mean.
+        result = _synthetic_result([
+            ("rotor", 16, 1, "random", {"cover": 100.0}, 0),
+            ("rotor", 16, 1, "random", {"cover": 140.0}, 1),
+            ("rotor", 16, 2, "random", {"cover": 60.0}, 0),
+        ])
+        [curve] = speedup_curves(result).values()
+        assert curve.rows[0].cover_time == pytest.approx(120.0)
+        assert curve.rows[1].speedup == pytest.approx(2.0)
+
+    def test_truncated_cells_are_skipped(self):
+        result = _synthetic_result([
+            ("walk", 16, 1, "all_on_one",
+             {"cover": None, "cover_ci_low": None, "cover_ci_high": None}),
+            ("walk", 16, 2, "all_on_one",
+             {"cover": 50.0, "cover_ci_low": 40.0, "cover_ci_high": 60.0}),
+        ])
+        assert speedup_curves(result) == {}
+
+    def test_rendered_table_reports_best_shape(self):
+        result = _synthetic_result([
+            ("rotor", 16, k, "all_on_one", {"cover": 1024.0 / (k * k)})
+            for k in (1, 2, 4)
+        ])
+        table = speedup_table(result)
+        assert table is not None
+        shapes = [value for value in table.column("best shape") if value]
+        assert shapes == ["k^2"]
+
+
+class TestModelRatio:
+    def test_pairs_join_on_placement(self):
+        result = _synthetic_result([
+            ("rotor", 16, 2, "all_on_one", {"cover": 50.0}),
+            ("walk", 16, 2, "all_on_one",
+             {"cover": 150.0, "cover_ci_low": 100.0, "cover_ci_high": 200.0}),
+            ("rotor", 16, 4, "equally_spaced", {"cover": 10.0}),  # unpaired
+        ])
+        table = model_ratio_table(result)
+        assert table is not None
+        assert len(table.rows) == 1
+        assert table.column("walk/rotor") == pytest.approx([3.0])
+        assert table.column("walk CI low") == pytest.approx([100.0])
+
+    def test_single_model_sweep_has_no_ratio_table(self):
+        result = _synthetic_result([
+            ("rotor", 16, 2, "all_on_one", {"cover": 50.0}),
+        ])
+        assert model_ratio_table(result) is None
+
+
+class TestEndToEnd:
+    def test_real_sweep_produces_consistent_aggregates(self):
+        result = run_sweep(_spec())
+        curves = speedup_curves(result)
+        # one curve per (model, placement) on the single n
+        assert set(curves) == {
+            ("rotor", 16, "all_on_one"),
+            ("walk", 16, "all_on_one"),
+        }
+        for curve in curves.values():
+            assert curve.rows[0].k == 1
+            assert curve.rows[0].speedup == pytest.approx(1.0)
+            for row in curve.rows:
+                assert row.speedup > 0
+                assert math.isfinite(row.speedup)
+        ratio = model_ratio_table(result)
+        assert ratio is not None
+        assert len(ratio.rows) == len(_spec().ks)
+        tables = summary_tables(result)
+        assert [t.caption.split(" from")[0] for t in tables] == [
+            "speed-up S(k) = C(n,1)/C(n,k)",
+            "rotor vs random-walk cover times",
+        ]

@@ -1,0 +1,148 @@
+"""Batch walk kernel: seed-for-seed equivalence with RingRandomWalks."""
+
+import numpy as np
+import pytest
+
+from repro.randomwalk.ring_walk import RingRandomWalks
+from repro.sweep.batch_walk import (
+    BatchRingWalks,
+    WalkLane,
+    walk_lanes_from_cells,
+)
+from repro.sweep.spec import PLACEMENTS
+
+
+def _randomized_configs(count, seed=7, max_n=64, max_k=8):
+    """Randomized (n, positions, seed) configurations, grouped by n."""
+    rng = np.random.default_rng(seed)
+    placements = list(PLACEMENTS)
+    groups = {}
+    for _ in range(count):
+        n = int(rng.integers(8, max_n + 1))
+        k = int(rng.integers(1, max_k + 1))
+        name = placements[int(rng.integers(0, len(placements)))]
+        positions = tuple(
+            int(p) for p in PLACEMENTS[name](n, k, int(rng.integers(0, 2**31)))
+        )
+        groups.setdefault(n, []).append(
+            (positions, int(rng.integers(0, 2**31)))
+        )
+    return groups
+
+
+class TestReferenceEquivalence:
+    def test_cover_rounds_match_reference_on_randomized_configs(self):
+        # The acceptance pin: >= 100 randomized (n, k, placement)
+        # configurations must reproduce RingRandomWalks.run_until_covered
+        # exactly for the same seeds — not merely in distribution.
+        groups = _randomized_configs(120)
+        assert sum(len(lanes) for lanes in groups.values()) >= 100
+        for n, lanes in groups.items():
+            max_rounds = 64 * n * n
+            batch = BatchRingWalks(
+                n, [WalkLane(positions, seed) for positions, seed in lanes]
+            )
+            covers = batch.run_until_covered(max_rounds)
+            for (positions, seed), got in zip(lanes, covers):
+                reference = RingRandomWalks(n, positions, seed=seed)
+                assert reference.run_until_covered(max_rounds) == int(got)
+
+    def test_first_visit_rounds_match_reference(self):
+        n, positions, seed = 24, (3, 17), 123
+        batch = BatchRingWalks(n, [WalkLane(positions, seed)])
+        batch.run_until_covered(64 * n * n)
+        reference = RingRandomWalks(n, positions, seed=seed)
+        reference.run_until_covered(64 * n * n)
+        assert list(batch.first_visit[0]) == list(reference.first_visit)
+
+    def test_mixed_walker_counts_in_one_batch(self):
+        # The walker axis is ragged: lanes with different k coexist.
+        n = 20
+        lanes = [WalkLane((0,), 1), WalkLane((0, 5, 10, 15), 2)]
+        covers = BatchRingWalks(n, lanes).run_until_covered(64 * n * n)
+        for lane, got in zip(lanes, covers):
+            reference = RingRandomWalks(n, lane.positions, seed=lane.seed)
+            assert reference.run_until_covered(64 * n * n) == int(got)
+
+    def test_partial_final_block_stays_aligned(self):
+        # A max_rounds that is not a multiple of block_size truncates
+        # the last block in both implementations identically.
+        n, positions, seed = 16, (0,), 5
+        max_rounds = 100
+        batch = BatchRingWalks(n, [WalkLane(positions, seed)], block_size=32)
+        covers = batch.run_until_covered(max_rounds, strict=False)
+        reference = RingRandomWalks(
+            n, positions, seed=seed, block_size=32
+        )
+        try:
+            expected = reference.run_until_covered(max_rounds)
+        except RuntimeError:
+            expected = -1
+        assert int(covers[0]) == expected
+
+
+class TestCoverDetection:
+    def test_initially_covered_lane_reports_zero(self):
+        n = 8
+        lanes = [WalkLane(tuple(range(n)), 0), WalkLane((0,), 0)]
+        batch = BatchRingWalks(n, lanes)
+        covers = batch.run_until_covered(64 * n * n)
+        assert covers[0] == 0
+        assert covers[1] > 0
+
+    def test_covered_lanes_stop_drawing(self):
+        # After a lane covers, its generator is never consumed again —
+        # the remaining lanes still match their standalone runs.
+        n = 12
+        lanes = [WalkLane(tuple(range(n)), 3), WalkLane((0, 6), 4)]
+        covers = BatchRingWalks(n, lanes).run_until_covered(64 * n * n)
+        reference = RingRandomWalks(n, (0, 6), seed=4)
+        assert int(covers[1]) == reference.run_until_covered(64 * n * n)
+
+    def test_strict_truncation_raises(self):
+        batch = BatchRingWalks(16, [WalkLane((0,), 0)])
+        with pytest.raises(RuntimeError):
+            batch.run_until_covered(2)
+
+    def test_nonstrict_truncation_reports_minus_one(self):
+        batch = BatchRingWalks(16, [WalkLane((0,), 0)])
+        covers = batch.run_until_covered(2, strict=False)
+        assert covers[0] == -1
+
+    def test_run_advances_all_lanes(self):
+        batch = BatchRingWalks(16, [WalkLane((0,), 0), WalkLane((8,), 1)])
+        batch.run(10)
+        assert batch.round == 10
+        assert len(batch.positions_lane(0)) == 1
+        assert batch.unvisited_lane(0) < 16
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            BatchRingWalks(2, [WalkLane((0,), 0)])
+        with pytest.raises(ValueError):
+            BatchRingWalks(8, [])
+        with pytest.raises(ValueError):
+            BatchRingWalks(8, [WalkLane((), 0)])
+        with pytest.raises(ValueError):
+            BatchRingWalks(8, [WalkLane((9,), 0)])
+        with pytest.raises(ValueError):
+            BatchRingWalks(8, [WalkLane((0,), 0)], block_size=0)
+        with pytest.raises(ValueError):
+            BatchRingWalks(8, [WalkLane((0,), 0)]).run(-1)
+
+
+class TestLaneFanOut:
+    def test_cells_expand_to_slices(self):
+        lanes, slices = walk_lanes_from_cells(
+            [((0, 1), (10, 11, 12)), ((3,), (20,))]
+        )
+        assert len(lanes) == 4
+        assert slices == [(0, 3), (3, 4)]
+        assert lanes[0] == WalkLane(positions=(0, 1), seed=10)
+        assert lanes[3] == WalkLane(positions=(3,), seed=20)
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            walk_lanes_from_cells([((0,), ())])

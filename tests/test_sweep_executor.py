@@ -7,8 +7,14 @@ import pytest
 
 from repro.analysis.cover_time import ring_rotor_cover_time
 from repro.analysis.return_time import ring_rotor_return_time_exact
-from repro.sweep.executor import ResultCache, run_sweep
-from repro.sweep.spec import InitFamily, ScenarioSpec
+from repro.randomwalk.ring_walk import RingRandomWalks
+from repro.sweep.executor import (
+    ResultCache,
+    _plan_chunks,
+    compute_chunk,
+    run_sweep,
+)
+from repro.sweep.spec import InitFamily, ScenarioSpec, SweepConfig
 
 
 def _cover_spec(**overrides):
@@ -53,8 +59,6 @@ class TestMetrics:
 
     def test_truncated_stabilization_records_nulls(self):
         # An exhausted round budget must yield None metrics, not a crash.
-        from repro.sweep.executor import compute_chunk
-
         spec = _cover_spec(
             ns=(16,), ks=(4,),
             families=(InitFamily("all_on_one", "toward_node0"),),
@@ -63,6 +67,7 @@ class TestMetrics:
         config = spec.configs()[0].to_dict()
         config["max_rounds"] = 2
         payload = {
+            "model": "rotor",
             "n": 16,
             "max_rounds": 2,
             "metrics": ["stabilization", "return"],
@@ -88,6 +93,140 @@ class TestMetrics:
         assert [c.metrics for c in serial.results] == [
             c.metrics for c in chunked.results
         ]
+
+
+class TestWalkModel:
+    def _walk_spec(self, **overrides):
+        base = dict(
+            name="walk-test",
+            ns=(16,),
+            ks=(2, 3),
+            families=(InitFamily("all_on_one", "toward_node0"),),
+            metrics=("cover",),
+            models=("walk",),
+            repetitions=3,
+        )
+        base.update(overrides)
+        return ScenarioSpec(**base)
+
+    def test_walk_cells_pin_reference_repetitions(self):
+        # The headline guarantee: a walk cell's mean is the exact mean
+        # of standalone RingRandomWalks runs on the cell's derived seeds.
+        result = run_sweep(self._walk_spec())
+        for cell in result.results:
+            config = cell.config
+            agents = config.build_agents()
+            samples = [
+                RingRandomWalks(config.n, agents, seed=seed).run_until_covered(
+                    config.max_rounds
+                )
+                for seed in config.rep_seeds()
+            ]
+            assert cell.metrics["cover"] == pytest.approx(
+                sum(samples) / len(samples)
+            )
+            assert cell.metrics["cover_reps"] == config.repetitions
+            assert cell.metrics["cover_truncated"] == 0
+            assert (
+                cell.metrics["cover_ci_low"]
+                <= cell.metrics["cover"]
+                <= cell.metrics["cover_ci_high"]
+            )
+
+    def test_both_models_in_one_sweep(self):
+        spec = self._walk_spec(models=("rotor", "walk"))
+        result = run_sweep(spec)
+        models = {cell.config.model for cell in result.results}
+        assert models == {"rotor", "walk"}
+        for cell in result.results:
+            if cell.config.model == "rotor":
+                agents, directions = cell.config.build()
+                assert cell.metrics["cover"] == ring_rotor_cover_time(
+                    cell.config.n, agents, directions
+                )
+
+    def test_truncated_walk_cell_records_nulls(self):
+        config = self._walk_spec().configs()[0].to_dict()
+        config["max_rounds"] = 2
+        payload = {
+            "model": "walk",
+            "n": 16,
+            "max_rounds": 2,
+            "metrics": ["cover"],
+            "configs": [config],
+        }
+        [(_, metrics)] = compute_chunk(payload)
+        assert metrics["cover"] is None
+        assert metrics["cover_ci_low"] is None
+        assert metrics["cover_truncated"] == 3
+
+    def test_walk_results_cache_and_parallelize(self, tmp_path):
+        spec = self._walk_spec(models=("rotor", "walk"))
+        cache_dir = str(tmp_path / "cache")
+        first = run_sweep(spec, jobs=2, cache_dir=cache_dir, chunk_lanes=2)
+        assert first.cache_misses == spec.num_configs
+        second = run_sweep(spec, cache_dir=cache_dir)
+        assert second.cache_hits == spec.num_configs
+        assert [c.metrics for c in first.results] == [
+            c.metrics for c in second.results
+        ]
+
+    def test_walk_chunks_split_by_walker_budget(self):
+        spec = self._walk_spec(ks=(2, 3, 4, 5))
+        payloads = _plan_chunks(
+            spec.configs(), chunk_lanes=64, walk_chunk_walkers=20
+        )
+        assert len(payloads) > 1
+        for payload in payloads:
+            weight = sum(
+                c["k"] * c["repetitions"] for c in payload["configs"]
+            )
+            # single-config chunks may exceed the budget; multi-config
+            # chunks never do
+            assert len(payload["configs"]) == 1 or weight <= 20
+        seen = [c["k"] for p in payloads for c in p["configs"]]
+        assert sorted(seen) == [2, 3, 4, 5]
+
+
+class TestChunkPlanning:
+    def test_heterogeneous_metrics_group_separately(self):
+        # Regression: chunks used to group by (n, max_rounds) only and
+        # stamp chunk[0].metrics on the whole payload — a mixed-metric
+        # miss list silently computed the wrong metric set for some
+        # cells.
+        cover = _cover_spec(ns=(16,), metrics=("cover",)).configs()
+        stab = _cover_spec(ns=(16,), metrics=("stabilization",)).configs()
+        payloads = _plan_chunks(cover + stab, chunk_lanes=64)
+        assert len(payloads) == 2
+        for payload in payloads:
+            for config in payload["configs"]:
+                assert payload["metrics"] == config["metrics"]
+
+    def test_heterogeneous_misses_compute_their_own_metrics(self):
+        # End to end: every cell of a mixed-metric miss list comes back
+        # with exactly the metric keys its own config requested.
+        cover = _cover_spec(ns=(16,), ks=(2,), metrics=("cover",)).configs()
+        stab = _cover_spec(
+            ns=(16,), ks=(2,), metrics=("stabilization",)
+        ).configs()
+        by_hash = {c.config_hash: c for c in cover + stab}
+        results = {}
+        for payload in _plan_chunks(cover + stab, chunk_lanes=64):
+            results.update(dict(compute_chunk(payload)))
+        for config_hash, metrics in results.items():
+            config = by_hash[config_hash]
+            if "cover" in config.metrics:
+                assert set(metrics) == {"cover"}
+            else:
+                assert set(metrics) == {"preperiod", "period"}
+
+    def test_models_group_separately(self):
+        rotor = _cover_spec(ns=(16,), ks=(2,)).configs()
+        walk = _cover_spec(
+            ns=(16,), ks=(2,), models=("walk",), repetitions=2
+        ).configs()
+        payloads = _plan_chunks(rotor + walk, chunk_lanes=64)
+        assert sorted(p["model"] for p in payloads) == ["rotor", "walk"]
 
 
 class TestCache:
@@ -153,6 +292,82 @@ class TestCache:
     def test_no_cache_dir_means_no_files(self, tmp_path):
         run_sweep(_cover_spec(ns=(16,), ks=(2,)), cache_dir=None)
         assert list(tmp_path.iterdir()) == []
+
+    def test_truncated_json_is_a_miss_and_overwritten(self, tmp_path):
+        # A partial write (e.g. a killed process without the atomic
+        # rename) must count as a miss and be transparently recomputed.
+        spec = _cover_spec(ns=(16,), ks=(2,))
+        cache_dir = str(tmp_path / "cache")
+        baseline = run_sweep(spec, cache_dir=cache_dir)
+        cache = ResultCache(cache_dir)
+        victim_config = spec.configs()[0]
+        victim = cache.path(victim_config.config_hash)
+        with open(victim) as handle:
+            intact = handle.read()
+        with open(victim, "w") as handle:
+            handle.write(intact[: len(intact) // 2])
+        assert cache.get(victim_config) is None
+        result = run_sweep(spec, cache_dir=cache_dir)
+        assert result.cache_misses == 1
+        with open(victim) as handle:
+            assert json.load(handle)["metrics"] == baseline.results[0].metrics
+
+    def test_entry_mismatching_filename_hash_is_a_miss(self, tmp_path):
+        # A valid entry sitting at another config's path (wrong filename
+        # hash) must not be served for that config.
+        spec = _cover_spec(ns=(16,), ks=(2, 3))
+        cache_dir = str(tmp_path / "cache")
+        run_sweep(spec, cache_dir=cache_dir)
+        cache = ResultCache(cache_dir)
+        first, second = spec.configs()[:2]
+        with open(cache.path(second.config_hash)) as handle:
+            foreign = handle.read()
+        with open(cache.path(first.config_hash), "w") as handle:
+            handle.write(foreign)
+        assert cache.get(first) is None
+        result = run_sweep(spec, cache_dir=cache_dir)
+        assert result.cache_misses == 1
+
+    def test_leftover_tmp_file_is_ignored_and_recomputed(self, tmp_path):
+        # A stale .tmp.<pid> file (crashed writer) in the hash-prefix
+        # directory is not an entry: the cell is a miss, recomputed, and
+        # the real entry lands next to the leftover.
+        spec = _cover_spec(ns=(16,), ks=(2,))
+        cache_dir = str(tmp_path / "cache")
+        cache = ResultCache(cache_dir)
+        config = spec.configs()[0]
+        path = cache.path(config.config_hash)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        stale = f"{path}.tmp.99999"
+        with open(stale, "w") as handle:
+            handle.write('{"config": {}, "metr')
+        assert cache.get(config) is None
+        assert len(cache) == 0  # tmp files are not entries
+        result = run_sweep(spec, cache_dir=cache_dir)
+        assert result.cache_misses == spec.num_configs
+        with open(path) as handle:
+            assert json.load(handle)["config"] == config.identity()
+
+    def test_v1_schema_entries_are_never_served(self, tmp_path):
+        # Simulate a pre-bump cache: an entry whose config block carries
+        # schema 1 must be a miss even if planted at the current path.
+        spec = _cover_spec(ns=(16,), ks=(2,))
+        cache_dir = str(tmp_path / "cache")
+        cache = ResultCache(cache_dir)
+        config = spec.configs()[0]
+        stale_identity = dict(config.identity(), schema=1)
+        path = cache.path(config.config_hash)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(
+                {"config": stale_identity, "metrics": {"cover": -12345}},
+                handle,
+            )
+        assert cache.get(config) is None
+        result = run_sweep(spec, cache_dir=cache_dir)
+        assert result.cache_misses == spec.num_configs
+        for cell in result.results:
+            assert cell.metrics["cover"] != -12345
 
 
 class TestParallel:

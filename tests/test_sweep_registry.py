@@ -10,7 +10,13 @@ from repro.sweep.spec import ScenarioSpec
 class TestRegistry:
     def test_expected_scenarios_registered(self):
         names = registry.scenario_names()
-        for required in ("table1", "stabilization", "cover_scaling"):
+        for required in (
+            "table1",
+            "table1_full",
+            "speedup",
+            "stabilization",
+            "cover_scaling",
+        ):
             assert required in names
 
     def test_every_scenario_builds_both_sizes(self):
@@ -51,6 +57,31 @@ class TestRegistry:
             # Theorem 6 shape: worst in-cycle gap is O(n/k)
             assert cell.metrics["worst_gap"] <= 6 * cell.config.n / cell.config.k
 
+    def test_table1_full_covers_both_models(self):
+        spec = registry.scenario("table1_full", quick=True)
+        assert set(spec.models) == {"rotor", "walk"}
+        assert 1 in spec.ks  # the S(k) baseline
+        assert spec.repetitions >= 5
+        placements = {family.placement for family in spec.families}
+        assert placements == {"all_on_one", "equally_spaced"}
+
+    def test_speedup_runs_quick_with_baseline(self):
+        spec = registry.scenario("speedup", quick=True)
+        assert 1 in spec.ks
+        result = run_sweep(spec)
+        walk_cells = [
+            cell for cell in result.results if cell.config.model == "walk"
+        ]
+        assert walk_cells
+        for cell in walk_cells:
+            assert cell.metrics["cover_reps"] >= 5
+            assert cell.metrics["cover_truncated"] == 0
+            assert (
+                cell.metrics["cover_ci_low"]
+                <= cell.metrics["cover"]
+                <= cell.metrics["cover_ci_high"]
+            )
+
 
 class TestCliSweep:
     def test_sweep_runs_and_caches(self, tmp_path, capsys):
@@ -83,9 +114,53 @@ class TestCliSweep:
         out = capsys.readouterr().out
         assert "wrote" in out
 
-    def test_unknown_sweep_name(self, capsys):
-        assert main(["sweep", "nope", "--cache", "none"]) == 2
-        assert "unknown sweep scenario" in capsys.readouterr().err
+    def test_unknown_sweep_name_exits_2(self, capsys):
+        # Rejected at the argparse layer: exit code 2, one-line message,
+        # no traceback — with or without --quick.
+        for argv in (
+            ["sweep", "nope", "--cache", "none"],
+            ["sweep", "nope", "--quick", "--cache", "none"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+            assert "unknown sweep scenario" in capsys.readouterr().err
+
+    def test_negative_jobs_exits_2(self, capsys):
+        # Regression: --jobs -2 used to surface a raw ValueError
+        # traceback from run_sweep.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "table1", "--jobs", "-2", "--cache", "none"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err and "positive" in err
+
+    def test_non_integer_jobs_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "table1", "--jobs", "two", "--cache", "none"])
+        assert excinfo.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_table1_full_cli_prints_both_models_and_ratios(
+        self, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["sweep", "table1_full", "--quick", "--cache", cache_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rotor" in out and "walk" in out
+        assert "cover_ci_low" in out
+        assert "speed-up S(k)" in out
+        assert "rotor vs random-walk cover times" in out
+        # the aggregate tables come from the same (now fully cached) sweep
+        assert main(
+            ["sweep", "table1_full", "--quick", "--cache", cache_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        expected = registry.scenario("table1_full", quick=True).num_configs
+        assert f"{expected} cells from cache, 0 computed" in out
+        assert "walk/rotor" in out
 
     def test_list_mentions_sweeps(self, capsys):
         assert main(["list"]) == 0

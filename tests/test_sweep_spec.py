@@ -5,6 +5,8 @@ import pytest
 from repro.sweep.spec import (
     PLACEMENTS,
     POINTERS,
+    SCHEMA_VERSION,
+    WALK_POINTER,
     InitFamily,
     ScenarioSpec,
     SweepConfig,
@@ -90,6 +92,91 @@ class TestExpansion:
                 agents, directions = config.build()
                 assert len(agents) == k
                 assert len(directions) == n
+
+
+class TestModelAxis:
+    def test_schema_version_bumped_for_model_axis(self):
+        # v2 added model + repetitions; pre-bump cache entries must
+        # never hash-collide with current identities.
+        assert SCHEMA_VERSION == 2
+
+    def test_default_expansion_is_rotor_only(self):
+        for config in _spec().configs():
+            assert config.model == "rotor"
+            assert config.repetitions == 1
+
+    def test_walk_cells_normalize_pointer_and_carry_repetitions(self):
+        spec = _spec(
+            families=(
+                InitFamily("all_on_one", "toward_node0"),
+                InitFamily("all_on_one", "positive"),
+            ),
+            models=("walk",),
+            repetitions=7,
+        )
+        configs = spec.configs()
+        # two families sharing a placement collapse to one walk cell
+        assert len(configs) == 2 * 2
+        for config in configs:
+            assert config.model == "walk"
+            assert config.pointer == WALK_POINTER
+            assert config.repetitions == 7
+            assert len(config.rep_seeds()) == 7
+            assert len(set(config.rep_seeds())) == 7
+
+    def test_walk_seed_collapse_follows_placement_randomness(self):
+        spec = _spec(models=("walk",), repetitions=2)
+        walk_seeds = {}
+        for config in spec.configs():
+            walk_seeds.setdefault(config.placement, set()).add(config.seed)
+        assert walk_seeds["all_on_one"] == {0}  # deterministic placement
+        assert walk_seeds["random"] == {0, 1}   # placement needs the seed
+
+    def test_both_models_expand_disjoint_cells(self):
+        spec = _spec(models=("rotor", "walk"), repetitions=3)
+        configs = spec.configs()
+        hashes = {c.config_hash for c in configs}
+        assert len(hashes) == len(configs)
+        models = {c.model for c in configs}
+        assert models == {"rotor", "walk"}
+
+    def test_walk_build_is_rotor_only_but_agents_shared(self):
+        spec = _spec(models=("rotor", "walk"))
+        walk = next(c for c in spec.configs() if c.model == "walk")
+        rotor = next(
+            c
+            for c in spec.configs()
+            if c.model == "rotor"
+            and (c.n, c.k, c.placement, c.seed)
+            == (walk.n, walk.k, walk.placement, walk.seed)
+        )
+        with pytest.raises(ValueError):
+            walk.build()
+        assert walk.build_agents() == rotor.build_agents()
+        assert rotor.build()[0] == rotor.build_agents()
+
+    def test_identity_round_trips_model_fields(self):
+        spec = _spec(models=("walk",), repetitions=4)
+        config = spec.configs()[0]
+        clone = SweepConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.config_hash == config.config_hash
+
+    def test_repetitions_change_the_hash(self):
+        a = _spec(models=("walk",), repetitions=3).configs()[0]
+        b = _spec(models=("walk",), repetitions=5).configs()[0]
+        assert a.config_hash != b.config_hash
+
+    def test_invalid_models_and_repetitions(self):
+        with pytest.raises(ValueError):
+            _spec(models=())
+        with pytest.raises(ValueError):
+            _spec(models=("nope",))
+        with pytest.raises(ValueError):
+            _spec(repetitions=0)
+        # walks have no rotors: stabilization/return are rotor-only
+        with pytest.raises(ValueError):
+            _spec(models=("rotor", "walk"), metrics=("stabilization",))
 
 
 class TestHashing:

@@ -50,9 +50,35 @@ class TestNormalCi:
         low99, high99 = normal_ci(data, 0.99)
         assert high99 - low99 > high90 - low90
 
-    def test_nonstandard_confidence_uses_scipy(self):
+    def test_nonstandard_confidence_uses_stdlib(self, monkeypatch):
+        # Regression: non-tabulated confidences used to import scipy,
+        # which setup.py does not declare — a minimal (numpy-only)
+        # install crashed with ImportError.  The fallback is stdlib.
+        import builtins
+        import sys
+
+        monkeypatch.delitem(sys.modules, "scipy", raising=False)
+        monkeypatch.delitem(sys.modules, "scipy.stats", raising=False)
+        real_import = builtins.__import__
+
+        def no_scipy(name, *args, **kwargs):
+            if name.startswith("scipy"):
+                raise ImportError(f"{name} is not installed")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_scipy)
         low, high = normal_ci([1.0, 2.0, 3.0], 0.85)
         assert low < 2.0 < high
+
+    def test_nontabulated_confidence_matches_known_z(self):
+        # confidence 0.975 -> z = Phi^-1(0.9875) = 2.2414 (not in the
+        # 0.90/0.95/0.99 table).
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low, high = normal_ci(data, 0.975)
+        s = summarize(data)
+        half = 2.241403 * s.sem()
+        assert low == pytest.approx(s.mean - half, rel=1e-5)
+        assert high == pytest.approx(s.mean + half, rel=1e-5)
 
     def test_invalid_confidence_rejected(self):
         with pytest.raises(ValueError):
