@@ -17,6 +17,7 @@ import time
 import numpy as np
 import pytest
 
+from conftest import record_sweep_bench
 from repro.core.engine import MultiAgentRotorRouter
 from repro.core.pointers import ring_pointers_to_ports, ring_random
 from repro.graphs.ring import ring_graph
@@ -83,6 +84,18 @@ def test_batch_kernel_throughput(benchmark):
     benchmark.extra_info["batch config-rounds/sec"] = round(batch_rps)
     benchmark.extra_info["reference rounds/sec"] = round(reference_rps)
     benchmark.extra_info["speedup vs reference"] = round(speedup, 1)
+    record_sweep_bench(
+        "executor_kernel",
+        {
+            "n": N,
+            "lanes": LANES,
+            "k": K,
+            "rounds": ROUNDS,
+            "config_rounds_per_sec": round(batch_rps),
+            "reference_rounds_per_sec": round(reference_rps),
+            "speedup_vs_reference": round(speedup, 1),
+        },
+    )
     assert speedup >= 20, (
         f"batch kernel sustains only {speedup:.1f}x the reference engine "
         f"({batch_rps:,.0f} vs {reference_rps:,.0f} rounds/sec)"

@@ -1,0 +1,322 @@
+"""[perf] Array-native limit-cycle pipeline vs per-lane Python bookkeeping.
+
+The stabilization sweep's hot path is ``batch_limit_cycles`` +
+``batch_return_gaps``.  Before the array-native rewrite, the kernel
+stepped all lanes with one vectorized round but then dropped into
+Python: byte keys per pending lane (``state_keys`` built a
+``dict[int, bytes]`` every round), a per-lane Brent ``(power, lam)``
+loop, and a gap scan allocating full-batch temporaries for
+``periods.max()`` rounds.  The rewrite moves all of that into numpy —
+uint64 word fingerprints (one wrapping matmul per round), byte-exact
+confirmation only on fingerprint hits, lane compaction, sorted-prefix
+schedules — and threads tunable chunk scheduling through the executor.
+
+This benchmark pins the delivered speedup on the stabilization
+scenario shape (n=512, 256 lanes, mixed initialization families) as
+the sweep actually executes it:
+
+* **before** — the pre-PR pipeline (kept verbatim below) over the
+  pre-PR executor chunking (fixed ``DEFAULT_CHUNK_LANES = 64``, the
+  only option the executor had);
+* **after** — the array-native pipeline over the scenario's scheduling
+  hints (one 256-lane chunk, ``compact_ratio=1.0``).
+
+The whole-batch legacy time is recorded too, isolating the pipeline
+win from the scheduling win.  The workload is the scenario's k-axis
+ladder over patrol families (``equally_spaced`` under positive /
+uniform / alternating pointers, plus ``half_ring`` and ``clustered``
+placements), whose limit cycles span periods 16..2n — the long-period
+tail is thin, exactly where the old full-width gap scan burned
+``periods.max()`` full-batch rounds.  Both implementations do
+identical work per lane and must return identical results; the
+measured gap is bookkeeping and scheduling overhead only.
+
+Headline numbers land in ``extra_info`` and in ``BENCH_sweep.json``
+(see ``conftest.record_sweep_bench``) so the perf trajectory is
+tracked across PRs.  ``BENCH_SWEEP_QUICK=1`` shrinks the shape for CI
+smoke runs.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from conftest import record_sweep_bench
+from repro.core import placement, pointers
+from repro.sweep.batch_ring import (
+    BatchLimitCycles,
+    BatchRingKernel,
+    batch_limit_cycles,
+    batch_return_gaps,
+    lanes_from_configs,
+)
+
+QUICK = os.environ.get("BENCH_SWEEP_QUICK", "") not in ("", "0")
+N = 128 if QUICK else 512
+LANES = 64 if QUICK else 256
+MAX_ROUNDS = 1024 if QUICK else 4096
+#: Pre-PR executor chunk size (DEFAULT_CHUNK_LANES at the time).
+LEGACY_CHUNK_LANES = 16 if QUICK else 64
+#: CI smoke runners are noisy-neighbor machines; the full shape keeps
+#: the acceptance bar of the rewrite, the quick shape a floor.
+MIN_SPEEDUP = 2.0 if QUICK else 5.0
+
+
+# ----------------------------------------------------------------------
+# pre-PR reference implementation (verbatim), the benchmark baseline
+# ----------------------------------------------------------------------
+def _legacy_batch_limit_cycles(n, ptr, cnt, max_rounds, strict=True):
+    hare = BatchRingKernel(n, ptr, cnt, track_cover=False)
+    num_lanes = hare.num_lanes
+    saved = hare.state_keys()  # tortoise snapshots (initial configuration)
+    power = np.ones(num_lanes, dtype=np.int64)
+    lam = np.zeros(num_lanes, dtype=np.int64)
+    periods = np.zeros(num_lanes, dtype=np.int64)
+    pending = list(range(num_lanes))
+    pending_mask = np.ones(num_lanes, dtype=bool)
+    steps = 0
+    while pending:
+        if steps >= max_rounds:
+            if strict:
+                raise RuntimeError(
+                    f"{len(pending)} lanes have no limit cycle confirmed "
+                    f"within {max_rounds} rounds"
+                )
+            periods[pending] = -1
+            break
+        hare.step(lane_mask=pending_mask, need_visits=False)
+        steps += 1
+        keys = hare.state_keys(pending)
+        still = []
+        for b in pending:
+            lam[b] += 1
+            if keys[b] == saved[b]:
+                periods[b] = lam[b]
+                pending_mask[b] = False
+            else:
+                if lam[b] == power[b]:
+                    saved[b] = keys[b]
+                    power[b] *= 2
+                    lam[b] = 0
+                still.append(b)
+        pending = still
+
+    tortoise = BatchRingKernel(n, ptr, cnt, track_cover=False)
+    hare = BatchRingKernel(n, ptr, cnt, track_cover=False)
+    for t in range(int(periods.max())):
+        hare.step(lane_mask=periods > t, need_visits=False)
+    preperiods = np.zeros(num_lanes, dtype=np.int64)
+    resolved = periods > 0
+    tortoise_keys = tortoise.state_keys()
+    hare_keys = hare.state_keys()
+    unmatched = np.array(
+        [
+            resolved[b] and tortoise_keys[b] != hare_keys[b]
+            for b in range(num_lanes)
+        ]
+    )
+    steps = 0
+    while unmatched.any():
+        if steps > max_rounds:
+            raise RuntimeError(
+                f"preperiod exceeds {max_rounds} rounds (inconsistent state)"
+            )
+        tortoise.step(lane_mask=unmatched, need_visits=False)
+        hare.step(lane_mask=unmatched, need_visits=False)
+        steps += 1
+        preperiods[unmatched] += 1
+        open_lanes = np.flatnonzero(unmatched)
+        tortoise_keys = tortoise.state_keys(open_lanes)
+        hare_keys = hare.state_keys(open_lanes)
+        for b in open_lanes:
+            if tortoise_keys[b] == hare_keys[b]:
+                unmatched[b] = False
+    preperiods[~resolved] = -1
+    return BatchLimitCycles(preperiods=preperiods, periods=periods)
+
+
+def _legacy_batch_return_gaps(n, ptr, cnt, cycles):
+    runner = BatchRingKernel(n, ptr, cnt, track_cover=False)
+    num_lanes = runner.num_lanes
+    preperiods, periods = cycles.preperiods, cycles.periods
+    for t in range(int(preperiods.max())):
+        runner.step(lane_mask=preperiods > t, need_visits=False)
+    first = np.full((num_lanes, n), -1, dtype=np.int64)
+    last = np.full((num_lanes, n), -1, dtype=np.int64)
+    max_gap = np.zeros((num_lanes, n), dtype=np.int64)
+    for t in range(int(periods.max())):
+        visits = runner.step(lane_mask=periods > t)
+        seen_before = visits & (last >= 0)
+        gaps = t - last
+        np.maximum(max_gap, np.where(seen_before, gaps, 0), out=max_gap)
+        first[visits & (first < 0)] = t
+        last[visits] = t
+    wrap = first + periods[:, np.newaxis] - last
+    gaps = np.maximum(max_gap, wrap).astype(float)
+    gaps[first < 0] = np.inf
+    return gaps.max(axis=1), gaps.min(axis=1)
+
+
+def _workload():
+    """The scenario's k-ladder over patrol families at (N, LANES).
+
+    Periods span 2N/k for k in the ladder up to the thin 2N tail
+    (``alternating`` pointers at a non-divisor k); preperiods stay
+    small, so the run is dominated by the Brent search over many
+    concurrently-live lanes plus the one-period gap scan — the two
+    paths this PR vectorizes.
+    """
+    configs = []
+    for lane in range(LANES):
+        r = lane % 16
+        if r < 6:
+            k = (16, 32, 64, 32, 16, 64)[r]
+            agents = placement.equally_spaced(N, k)
+            dirs = pointers.ring_positive(N, agents)
+        elif r < 12:
+            k = (16, 32, 64, 64, 32, 16)[r - 6]
+            agents = placement.equally_spaced(N, k)
+            dirs = pointers.ring_uniform(N)
+        elif r == 12:
+            agents = placement.half_ring(N, 2)
+            dirs = pointers.ring_positive(N, agents)
+        elif r == 13:
+            agents = placement.clustered(N, 2, 1, seed=lane)
+            dirs = pointers.ring_positive(N, agents)
+        elif r == 14:
+            agents = placement.equally_spaced(N, 64)
+            dirs = pointers.ring_alternating(N)
+        else:
+            # the thin long-period tail: period 2N at this k
+            agents = placement.equally_spaced(N, 57 if not QUICK else 29)
+            dirs = pointers.ring_alternating(N)
+        configs.append((dirs, agents))
+    return configs
+
+
+def _run_pipeline(impl_cycles, impl_gaps, configs, **cycle_kwargs):
+    """One chunk through limit cycles + gaps; returns stacked results."""
+    ptr, cnt = lanes_from_configs(N, configs)
+    cycles = impl_cycles(N, ptr, cnt, MAX_ROUNDS, strict=False, **cycle_kwargs)
+    lanes = np.flatnonzero(cycles.periods > 0)
+    worst = np.full(len(configs), np.nan)
+    best = np.full(len(configs), np.nan)
+    if lanes.size:
+        worst[lanes], best[lanes] = impl_gaps(
+            N, ptr[lanes], cnt[lanes],
+            BatchLimitCycles(
+                preperiods=cycles.preperiods[lanes],
+                periods=cycles.periods[lanes],
+            ),
+        )
+    return cycles.preperiods, cycles.periods, worst, best
+
+
+def _run_new(configs):
+    # The scenario's post-PR scheduling: one full-width chunk
+    # (chunk_lanes hint 256) with eager lane compaction.
+    return _run_pipeline(
+        batch_limit_cycles, batch_return_gaps, configs, compact_ratio=1.0
+    )
+
+
+def _run_legacy(configs, chunk_lanes):
+    parts = [
+        _run_pipeline(
+            _legacy_batch_limit_cycles, _legacy_batch_return_gaps,
+            configs[start:start + chunk_lanes],
+        )
+        for start in range(0, len(configs), chunk_lanes)
+    ]
+    return tuple(np.concatenate(column) for column in zip(*parts))
+
+
+def _prewarm_allocator():
+    """Put glibc's allocator in its steady state before timing.
+
+    Whether MB-scale numpy temporaries come from the heap or fresh
+    mmaps depends on allocator history (glibc raises its dynamic mmap
+    threshold when large blocks are freed); a few sub-cap alloc/free
+    cycles pin that state so the measured ratio does not depend on
+    what ran earlier in the process.
+    """
+    for _ in range(4):
+        block = np.zeros(8 * 1024 * 1024, dtype=np.uint8)
+        del block
+
+
+def test_stabilization_pipeline_speedup(benchmark):
+    configs = _workload()
+    _prewarm_allocator()
+    new_timings: list[float] = []
+    legacy_timings: list[float] = []
+    whole_timings: list[float] = []
+
+    def run_new():
+        started = time.perf_counter()
+        out = _run_new(configs)
+        new_timings.append(time.perf_counter() - started)
+        return out
+
+    def run_legacy():
+        started = time.perf_counter()
+        out = _run_legacy(configs, LEGACY_CHUNK_LANES)
+        legacy_timings.append(time.perf_counter() - started)
+        return out
+
+    # Manual timing inside the workload keeps the ratio available even
+    # under --benchmark-disable; the two sides run interleaved with a
+    # best-of-3 floor so thermal / allocator / noisy-neighbor effects
+    # hit both alike.
+    new_out = benchmark(run_new)
+    legacy_out = run_legacy()
+    while len(new_timings) < 3:
+        run_new()
+        run_legacy()
+    # One whole-batch legacy pass isolates the pipeline win from the
+    # chunk-scheduling win (recorded, not asserted).
+    started = time.perf_counter()
+    whole_out = _run_legacy(configs, LANES)
+    whole_timings.append(time.perf_counter() - started)
+
+    # Exactness first: the speedup only counts if the results are
+    # identical — preperiods, periods, gaps, truncated (-1) lanes.
+    for mine, theirs in zip(new_out, legacy_out):
+        assert np.array_equal(mine, theirs, equal_nan=True)
+    for mine, theirs in zip(new_out, whole_out):
+        assert np.array_equal(mine, theirs, equal_nan=True)
+
+    elapsed = min(new_timings)
+    legacy_elapsed = min(legacy_timings)
+    speedup = legacy_elapsed / elapsed
+    preperiods, periods = new_out[0], new_out[1]
+    resolved = periods > 0
+    lane_rounds = int(
+        (preperiods[resolved] + 2 * periods[resolved]).sum()
+        + (~resolved).sum() * MAX_ROUNDS
+    )
+    payload = {
+        "n": N,
+        "lanes": LANES,
+        "max_rounds": MAX_ROUNDS,
+        "legacy_chunk_lanes": LEGACY_CHUNK_LANES,
+        "resolved_lanes": int(resolved.sum()),
+        "quick": QUICK,
+        "pipeline_sec": round(elapsed, 4),
+        "legacy_sec": round(legacy_elapsed, 4),
+        "legacy_whole_batch_sec": round(min(whole_timings), 4),
+        "lane_rounds_per_sec": round(lane_rounds / elapsed),
+        "speedup_vs_reference": round(speedup, 2),
+        "speedup_vs_whole_batch_reference": round(
+            min(whole_timings) / elapsed, 2
+        ),
+    }
+    for key, value in payload.items():
+        benchmark.extra_info[key] = value
+    record_sweep_bench("stabilization", payload)
+    assert speedup >= MIN_SPEEDUP, (
+        f"array-native limit-cycle pipeline only {speedup:.1f}x the "
+        f"Python-bookkeeping reference ({elapsed:.3f}s vs "
+        f"{legacy_elapsed:.3f}s)"
+    )

@@ -13,6 +13,7 @@ import time
 
 import numpy as np
 
+from conftest import record_sweep_bench
 from repro.randomwalk.ring_walk import RingRandomWalks
 from repro.sweep.batch_walk import BatchRingWalks, WalkLane
 from repro.util.rng import derive_seed
@@ -77,6 +78,17 @@ def test_batch_walk_kernel_throughput(benchmark):
     benchmark.extra_info["batch walk-rounds/sec"] = round(batch_rps)
     benchmark.extra_info["reference walk-rounds/sec"] = round(reference_rps)
     benchmark.extra_info["speedup vs per-config loop"] = round(speedup, 1)
+    record_sweep_bench(
+        "walk_kernel",
+        {
+            "n": N,
+            "lanes": LANES,
+            "k": K,
+            "walk_rounds_per_sec": round(batch_rps),
+            "reference_rounds_per_sec": round(reference_rps),
+            "speedup_vs_reference": round(speedup, 1),
+        },
+    )
     assert speedup >= 1.5, (
         f"batch walk kernel sustains only {speedup:.1f}x the per-config "
         f"loop ({batch_rps:,.0f} vs {reference_rps:,.0f} rounds/sec)"

@@ -10,6 +10,40 @@ the paper's *shape* claims.  The full-size reproductions live in
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
+#: Machine-readable perf trajectory of the sweep subsystem: every
+#: ``bench_sweep_*`` benchmark merges its headline numbers (rounds/sec,
+#: speedup vs reference, workload config) into this file, keyed by
+#: benchmark name, so the numbers can be compared across PRs and
+#: uploaded as a CI artifact.
+BENCH_SWEEP_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def record_sweep_bench(name: str, payload: dict) -> Path:
+    """Merge one sweep benchmark's results into ``BENCH_sweep.json``.
+
+    Read-modify-write with a same-directory temp file and atomic
+    replace, so benchmarks running in any order (or interrupted) leave
+    a valid JSON document; unreadable existing content is replaced
+    rather than crashing the benchmark.
+    """
+    data: dict = {}
+    if BENCH_SWEEP_PATH.exists():
+        try:
+            existing = json.loads(BENCH_SWEEP_PATH.read_text())
+            if isinstance(existing, dict):
+                data = existing
+        except (OSError, ValueError):
+            pass
+    data[name] = payload
+    tmp = BENCH_SWEEP_PATH.parent / f"{BENCH_SWEEP_PATH.name}.tmp.{os.getpid()}"
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    tmp.replace(BENCH_SWEEP_PATH)
+    return BENCH_SWEEP_PATH
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark an experiment function as a single measured run.

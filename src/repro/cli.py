@@ -126,6 +126,7 @@ def _cmd_sweep(
     cache_dir: str | None,
     quick: bool,
     csv_dir: str | None,
+    chunk_lanes: int | None = None,
 ) -> int:
     from repro.sweep import registry
     from repro.sweep.aggregate import summary_tables
@@ -134,7 +135,8 @@ def _cmd_sweep(
     # Unknown names are rejected at the argparse layer in main().
     spec = registry.scenario(name, quick=quick)
     result = run_sweep(
-        spec, jobs=jobs, cache_dir=cache_dir, progress=stderr_progress
+        spec, jobs=jobs, cache_dir=cache_dir, progress=stderr_progress,
+        chunk_lanes=chunk_lanes,
     )
     report = Report(
         title=f"sweep '{name}'"
@@ -168,24 +170,32 @@ def _cmd_all(csv_dir: str | None) -> int:
     return status
 
 
-def _jobs_argument(text: str) -> int:
-    """argparse type for ``--jobs``: a positive worker count.
+def _positive_int_argument(what: str) -> Callable[[str], int]:
+    """argparse type factory for positive integer options.
 
-    Validating here means a bad value (``--jobs -2``) exits 2 with a
-    one-line argparse message instead of surfacing a traceback from
-    deep inside ``run_sweep``.
+    Validating at the argparse layer means a bad value (``--jobs -2``,
+    ``--chunk-lanes 0``) exits 2 with a one-line argparse message
+    instead of surfacing a traceback from deep inside ``run_sweep``.
     """
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"invalid int value: {text!r}"
-        ) from None
-    if value < 1:
-        raise argparse.ArgumentTypeError(
-            f"must be a positive worker count, got {value}"
-        )
-    return value
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid int value: {text!r}"
+            ) from None
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive {what}, got {value}"
+            )
+        return value
+
+    return parse
+
+
+_jobs_argument = _positive_int_argument("worker count")
+_chunk_lanes_argument = _positive_int_argument("lane count")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -219,6 +229,12 @@ def main(argv: list[str] | None = None) -> int:
         "'none' disables caching",
     )
     sweep_parser.add_argument(
+        "--chunk-lanes", type=_chunk_lanes_argument, default=None,
+        metavar="B",
+        help="lanes per kernel chunk (default: scenario hint, else 64); "
+        "a scheduling knob — results and cache entries are unaffected",
+    )
+    sweep_parser.add_argument(
         "--quick", action="store_true",
         help="scaled-down grid (CI smoke size)",
     )
@@ -241,7 +257,10 @@ def main(argv: list[str] | None = None) -> int:
                 + ", ".join(registry.scenario_names())
             )
         cache_dir = None if args.cache == "none" else args.cache
-        return _cmd_sweep(args.name, args.jobs, cache_dir, args.quick, args.csv)
+        return _cmd_sweep(
+            args.name, args.jobs, cache_dir, args.quick, args.csv,
+            args.chunk_lanes,
+        )
     return _cmd_all(args.csv)
 
 

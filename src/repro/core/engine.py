@@ -222,10 +222,7 @@ class MultiAgentRotorRouter:
     # ------------------------------------------------------------------
     def positions(self) -> list[int]:
         """Sorted agent locations with multiplicity."""
-        result: list[int] = []
-        for v in np.flatnonzero(self.counts):
-            result.extend([int(v)] * int(self.counts[v]))
-        return result
+        return np.repeat(np.arange(self.counts.size), self.counts).tolist()
 
     def state_key(self) -> bytes:
         """Compact configuration identity (pointers + agent multiset).

@@ -29,6 +29,7 @@ from repro.sweep.aggregate import (
     summary_tables,
 )
 from repro.sweep.batch_ring import (
+    DEFAULT_COMPACT_RATIO,
     BatchLimitCycles,
     BatchRingKernel,
     batch_limit_cycles,
@@ -50,6 +51,7 @@ from repro.sweep.registry import scenario, scenario_names
 from repro.sweep.spec import InitFamily, ScenarioSpec, SweepConfig
 
 __all__ = [
+    "DEFAULT_COMPACT_RATIO",
     "BatchLimitCycles",
     "BatchRingKernel",
     "BatchRingWalks",

@@ -36,13 +36,18 @@ Per-lane detection built on top of the kernel:
   snapshot — per-lane reductions are ~10x the cost of the element-wise
   round itself, so they must stay off the per-step path;
 * **stabilization** — :func:`batch_limit_cycles` runs Brent's
-  cycle-finding with shared vectorized stepping and per-lane
-  bookkeeping over configuration keys;
-* **return times** — :func:`batch_return_gaps` scans one limit-cycle
-  period per lane (lanes with shorter periods are frozen via the
-  ``lane_mask`` argument of :meth:`BatchRingKernel.step`) and records
-  the worst per-node visit gap including the wrap-around gap, exactly
-  as :func:`repro.core.limit.return_time_exact`.
+  cycle-finding entirely in array ops: per-lane configurations are
+  summarized by random-weight uint64 fingerprints (one matmul per
+  round), "hare == snapshot" is a single ``(A,)`` comparison, and the
+  rare fingerprint hits are confirmed byte-exactly before a lane is
+  resolved, so the result is still the true minimal period; resolved
+  lanes are compacted out of the working arrays, making stepping *and*
+  bookkeeping scale with unresolved lanes;
+* **return times** — :func:`batch_return_gaps` sorts lanes by schedule
+  length so the active set is always a contiguous array prefix, scans
+  one limit-cycle period per lane on that shrinking prefix, and
+  records the worst per-node visit gap including the wrap-around gap,
+  exactly as :func:`repro.core.limit.return_time_exact`.
 
 Step-for-step equivalence with the reference engines is enforced by
 ``tests/test_sweep_batch_ring.py``.
@@ -54,7 +59,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.util.rng import derive_seed
+
 _DTYPE_LIMITS = ((np.int8, 126), (np.int16, 32766), (np.int64, 2**62))
+
+#: Lane-compaction threshold of the limit-cycle pipeline: working
+#: arrays are rebuilt to hold only unresolved lanes once the live
+#: fraction drops to this ratio.  1.0 compacts after every resolution
+#: (cheapest rounds, most rebuilds), 0.0 never compacts; the default
+#: bounds dead-row overhead at 2x while keeping rebuilds logarithmic
+#: in the lane count.
+DEFAULT_COMPACT_RATIO = 0.5
 
 
 def _counts_dtype(max_agents: int) -> type:
@@ -348,11 +363,7 @@ class BatchRingKernel:
 
     def positions(self, lane: int) -> list[int]:
         """Sorted agent locations of one lane, with multiplicity."""
-        row = self._counts[lane]
-        result: list[int] = []
-        for v in np.flatnonzero(row):
-            result.extend([int(v)] * int(row[v]))
-        return result
+        return np.repeat(np.arange(self.n), self._counts[lane]).tolist()
 
     def unvisited_lane(self, lane: int) -> int:
         if not self._track_cover:
@@ -428,20 +439,379 @@ class BatchLimitCycles:
     periods: np.ndarray
 
 
+class _Fingerprinter:
+    """Random-weight uint64 fingerprints of ``(pointer, counts)`` rows.
+
+    Configurations live in padded row buffers (:class:`_LaneBlock`)
+    whose rows reinterpret as uint64 *words* — 8 packed count bytes or
+    pointer bits per word.  The fingerprint is the random-weight dot
+    product over those words, modulo 2^64::
+
+        fingerprint[b] = sum_j w_ptr[j]*ptr_words[b,j]
+                       + sum_j w_cnt[j]*cnt_words[b,j]    (mod 2^64)
+
+    so Brent's "hare == snapshot" test is one ``(A,)`` equality
+    instead of per-lane byte keys, and the update is one broadcasted
+    multiply-sum (a matmul in wrapping uint64 arithmetic) per round
+    touching 1/8 of the configuration bytes.  Equal configurations
+    always share a fingerprint; unequal ones collide only when the
+    weighted word difference sums to 0 mod 2^64 (~2^-56 for random
+    differences under the seeded odd weights; structured worst cases
+    are rarer than 2^-8), and every hit is confirmed byte-exactly by
+    the callers before a lane resolves — collisions cost time, never
+    correctness.  The default weights derive from
+    :func:`repro.util.rng.derive_seed` (stable across processes);
+    tests inject degenerate ``weights`` to force collisions.
+    """
+
+    def __init__(
+        self,
+        ptr_words: int,
+        cnt_words: int,
+        weights: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        if weights is None:
+            rng = np.random.default_rng(
+                derive_seed(0, "limit-cycle-fingerprint", ptr_words, cnt_words)
+            )
+            # Odd weights are units mod 2^64: a single differing word
+            # never collides, whatever its (power-of-two) byte offset.
+            self._w_packed = rng.integers(
+                0, 2**64, size=cnt_words, dtype=np.uint64
+            ) | np.uint64(1)
+            # Equivalent split form, kept for introspection: hashing
+            # z = 2·counts + ptr with w is hashing counts with 2w and
+            # pointer bits with w.
+            self.w_ptr = self._w_packed
+            self.w_cnt = self._w_packed * np.uint64(2)
+        else:
+            self._w_packed = None
+            self.w_ptr = np.ascontiguousarray(weights[0], dtype=np.uint64)
+            self.w_cnt = np.ascontiguousarray(weights[1], dtype=np.uint64)
+            if self.w_ptr.shape != (ptr_words,) or self.w_cnt.shape != (
+                cnt_words,
+            ):
+                raise ValueError(
+                    f"fingerprint weights must have shapes ({ptr_words},) "
+                    f"and ({cnt_words},), got {self.w_ptr.shape} and "
+                    f"{self.w_cnt.shape}"
+                )
+
+    def of(self, block: "_LaneBlock") -> np.ndarray:
+        """``(A,)`` uint64 fingerprints of the block's configuration rows.
+
+        Default weights take the packed fast path: the per-node state
+        ``z = 2·counts + ptr`` is formed wordwise in two bitwise ops —
+        counts stay below their dtype's sign bit, so the shift never
+        carries across packed elements and OR-ing the pointer bit is
+        exact addition — then hashed with a single wrapping matmul.
+        Injected weights keep the two-matmul form over pointer and
+        count words separately.
+        """
+        if self._w_packed is not None:
+            z = block.cnt_words << np.uint64(1)
+            z |= block.ptr_words
+            return z @ self._w_packed
+        fp = block.ptr_words @ self.w_ptr
+        fp += block.cnt_words @ self.w_cnt
+        return fp
+
+
+def _padded_columns(n: int, dtype: np.dtype) -> int:
+    """Columns per row so a row is a whole number of uint64 words."""
+    per_word = max(1, 8 // dtype.itemsize)
+    return -(-n // per_word) * per_word
+
+
+class _LaneBlock:
+    """Compacted ``(A, n)`` configuration rows stepped as prefix slices.
+
+    The limit-cycle pipeline keeps its working lanes contiguous:
+    resolving lanes are either compacted out (Brent phases, unsorted)
+    or sorted to the back so the active set is always ``rows[:a]`` —
+    both ways a round costs element-wise ops on exactly the rows that
+    still matter, with no masks, gathers or full-batch temporaries.
+
+    Rows live in zero-padded buffers whose byte length is a multiple
+    of 8, exposed twice: as ``(A, n)`` working views (``ptr``/``cnt``)
+    the stepping arithmetic writes through, and as uint64 *word* views
+    (``ptr_words``/``cnt_words``) that fingerprinting and byte-exact
+    row comparison read — comparing packed words touches 1/8 of the
+    bytes of an element-wise row comparison.  The padding is written
+    once (zeros) and never touched again, so word equality is exactly
+    configuration equality.
+    """
+
+    __slots__ = (
+        "ptr", "cnt", "ptr_words", "cnt_words",
+        "_ptr_buf", "_cnt_buf", "_nxt_buf", "_fwd", "_bwd", "_nxt",
+    )
+
+    def __init__(self, ptr: np.ndarray, cnt: np.ndarray) -> None:
+        rows, n = cnt.shape
+        padded = _padded_columns(n, cnt.dtype)
+        self._ptr_buf = np.zeros((rows, padded), dtype=cnt.dtype)
+        self._cnt_buf = np.zeros((rows, padded), dtype=cnt.dtype)
+        self._nxt_buf = np.zeros((rows, padded), dtype=cnt.dtype)
+        self._ptr_buf[:, :n] = ptr
+        self._cnt_buf[:, :n] = cnt
+        self._fwd = np.empty((rows, n), dtype=cnt.dtype)
+        self._bwd = np.empty((rows, n), dtype=cnt.dtype)
+        self._refresh_views(n)
+
+    def _refresh_views(self, n: int) -> None:
+        self.ptr = self._ptr_buf[:, :n]
+        self.cnt = self._cnt_buf[:, :n]
+        self._nxt = self._nxt_buf[:, :n]
+        self.ptr_words = self._ptr_buf.view(np.uint64)
+        self.cnt_words = self._cnt_buf.view(np.uint64)
+
+    @property
+    def rows(self) -> int:
+        return self.cnt.shape[0]
+
+    def _arith(self, a: int) -> None:
+        """Rotor arithmetic for rows ``[:a]``: arrivals into ``_nxt``,
+        pointers flipped in place."""
+        c, p = self.cnt[:a], self.ptr[:a]
+        f, b, x = self._fwd[:a], self._bwd[:a], self._nxt[:a]
+        np.add(c, p, out=f)
+        np.right_shift(f, 1, out=f)
+        np.subtract(c, f, out=b)
+        np.bitwise_xor(p, c, out=p)
+        np.bitwise_and(p, 1, out=p)
+        np.add(f[:, :-2], b[:, 2:], out=x[:, 1:-1])
+        np.add(f[:, -1], b[:, 1], out=x[:, 0])
+        np.add(f[:, -2], b[:, 0], out=x[:, -1])
+
+    def _commit_swap(self) -> None:
+        self._cnt_buf, self._nxt_buf = self._nxt_buf, self._cnt_buf
+        self._refresh_views(self.cnt.shape[1])
+
+    def step_all(self) -> None:
+        """One round on every row — commits by buffer swap (no copy)."""
+        self._arith(self.rows)
+        self._commit_swap()
+
+    def step_prefix(self, a: int) -> None:
+        """One rotor-router round on rows ``[:a]``; the rest hold still.
+
+        Commits whichever way copies less: small prefixes copy the new
+        counts back, large prefixes swap buffers and restore the
+        untouched tail.
+        """
+        self._arith(a)
+        if 2 * a >= self.rows:
+            self._nxt_buf[a:] = self._cnt_buf[a:]
+            self._commit_swap()
+        else:
+            self.cnt[:a] = self._nxt[:a]
+
+    def take(self, rows: np.ndarray) -> "_LaneBlock":
+        """A new block holding only ``rows`` (fresh compact buffers)."""
+        return _LaneBlock(self.ptr[rows], self.cnt[rows])
+
+    def rows_equal(self, other: "_LaneBlock", rows: np.ndarray) -> np.ndarray:
+        """Byte-exact configuration equality per row index, via words."""
+        return (self.ptr_words[rows] == other.ptr_words[rows]).all(axis=1) & (
+            self.cnt_words[rows] == other.cnt_words[rows]
+        ).all(axis=1)
+
+    def halves_equal(self, pairs: int, rows: np.ndarray) -> np.ndarray:
+        """Row ``r`` vs row ``r + pairs`` equality for each ``r`` in rows."""
+        return (
+            self.ptr_words[rows] == self.ptr_words[rows + pairs]
+        ).all(axis=1) & (
+            self.cnt_words[rows] == self.cnt_words[rows + pairs]
+        ).all(axis=1)
+
+
+def _check_compact_ratio(compact_ratio: float) -> None:
+    if not 0.0 <= compact_ratio <= 1.0:
+        raise ValueError(
+            f"compact_ratio must be within [0, 1], got {compact_ratio}"
+        )
+
+
+def _advance_by_schedule(block: _LaneBlock, schedule: np.ndarray) -> None:
+    """Step row ``i`` of ``block`` exactly ``schedule[i]`` rounds.
+
+    ``schedule`` must be sorted descending: the rows still advancing
+    in round ``t`` are then always the prefix ``[:a]``, and the total
+    cost is ``Σ schedule[i]`` row-rounds instead of
+    ``rows · max(schedule)``.
+    """
+    ascending = -schedule
+    for t in range(int(schedule[0]) if schedule.size else 0):
+        active = int(np.searchsorted(ascending, -t, side="left"))
+        if active == 0:
+            break
+        block.step_prefix(active)
+
+
+def _brent_periods(
+    ptr0: np.ndarray,
+    cnt0: np.ndarray,
+    max_rounds: int,
+    strict: bool,
+    fingerprint: _Fingerprinter,
+    compact_ratio: float,
+) -> np.ndarray:
+    """Phase 1 of Brent's search: per-lane minimal periods (or -1).
+
+    While a lane is unresolved its ``(power, lam)`` schedule is
+    data-independent and shared by every lane: snapshots refresh at
+    steps 2^j - 1, and steps (2^j - 1, 2^{j+1} - 1] compare against
+    the snapshot at 2^j - 1.  The per-round work is therefore exactly
+    one vectorized step, one fingerprint call and one ``(A,)``
+    hare-vs-snapshot equality; fingerprint hits are byte-confirmed on
+    the spot (both configurations are present), so a collision just
+    keeps the lane searching — exactly what exact keys would have
+    done.  Resolved lanes are compacted out once the live fraction
+    drops to ``compact_ratio``.
+    """
+    num_lanes = ptr0.shape[0]
+    periods = np.full(num_lanes, -1, dtype=np.int64)
+    block = _LaneBlock(ptr0, cnt0)
+    snapshot = _LaneBlock(ptr0, cnt0)
+    snap_fp = fingerprint.of(snapshot)
+    orig = np.arange(num_lanes)
+    alive = np.ones(num_lanes, dtype=bool)
+    num_alive = num_lanes
+    steps = 0
+    snap_step = 0  # snapshots refresh when steps reaches snap_step+window
+    window = 1
+    while num_alive and steps < max_rounds:
+        block.step_all()
+        steps += 1
+        cur_fp = fingerprint.of(block)
+        hit = cur_fp == snap_fp
+        hit &= alive
+        resolved_now = False
+        if hit.any():
+            rows = np.flatnonzero(hit)
+            confirmed = rows[block.rows_equal(snapshot, rows)]
+            if confirmed.size:
+                periods[orig[confirmed]] = steps - snap_step
+                alive[confirmed] = False
+                num_alive -= confirmed.size
+                resolved_now = True
+        if steps == snap_step + window and num_alive:
+            # Window complete: every live lane refreshes its snapshot
+            # to the current configuration (dead rows refresh too —
+            # harmless, their results are already extracted).
+            np.copyto(snapshot._ptr_buf, block._ptr_buf)
+            np.copyto(snapshot._cnt_buf, block._cnt_buf)
+            snap_fp = cur_fp
+            snap_step = steps
+            window *= 2
+        if (
+            resolved_now
+            and 0 < num_alive
+            and num_alive <= compact_ratio * alive.size
+        ):
+            keep = np.flatnonzero(alive)
+            block = block.take(keep)
+            snapshot = snapshot.take(keep)
+            snap_fp = snap_fp[keep]
+            orig = orig[keep]
+            alive = np.ones(num_alive, dtype=bool)
+    if num_alive and strict:
+        raise RuntimeError(
+            f"{num_alive} lanes have no limit cycle confirmed "
+            f"within {max_rounds} rounds"
+        )
+    return periods
+
+
+def _brent_preperiods(
+    ptr0: np.ndarray,
+    cnt0: np.ndarray,
+    periods: np.ndarray,
+    max_rounds: int,
+    fingerprint: _Fingerprinter,
+    compact_ratio: float,
+) -> np.ndarray:
+    """Phase 2: preperiods via synchronized tortoise/hare walkers.
+
+    The hare starts one full period ahead per lane (a sorted-prefix
+    advance costing ``Σ period`` row-rounds); then tortoise and hare
+    rows are stacked into ONE block — rows ``[:A]`` tortoise, ``[A:]``
+    hare — so each round is a single vectorized step, a single
+    fingerprint call and one ``(A,)`` equality between the halves.
+    Fingerprint matches are byte-confirmed on the spot; matched lanes
+    stay matched under further steps (determinism), so they are
+    stepped harmlessly until compaction drops them.
+    """
+    num_lanes = ptr0.shape[0]
+    preperiods = np.full(num_lanes, -1, dtype=np.int64)
+    resolved = np.flatnonzero(periods > 0)
+    if resolved.size == 0:
+        return preperiods
+    order = resolved[np.argsort(-periods[resolved], kind="stable")]
+    hare = _LaneBlock(ptr0[order], cnt0[order])
+    _advance_by_schedule(hare, periods[order])
+    block = _LaneBlock(
+        np.concatenate([ptr0[order], hare.ptr]),
+        np.concatenate([cnt0[order], hare.cnt]),
+    )
+
+    orig = order.copy()
+    pairs = order.size
+    alive = np.ones(pairs, dtype=bool)
+    num_alive = pairs
+    rounds = 0
+    while True:
+        fps = fingerprint.of(block)
+        cand = fps[:pairs] == fps[pairs:]
+        cand &= alive
+        if cand.any():
+            rows = np.flatnonzero(cand)
+            confirmed = rows[block.halves_equal(pairs, rows)]
+            if confirmed.size:
+                preperiods[orig[confirmed]] = rounds
+                alive[confirmed] = False
+                num_alive -= confirmed.size
+                if num_alive and num_alive <= compact_ratio * alive.size:
+                    keep = np.flatnonzero(alive)
+                    block = block.take(np.concatenate([keep, keep + pairs]))
+                    orig = orig[keep]
+                    pairs = keep.size
+                    alive = np.ones(pairs, dtype=bool)
+        if not num_alive:
+            break
+        if rounds >= max_rounds:
+            raise RuntimeError(
+                f"preperiod exceeds {max_rounds} rounds (inconsistent state)"
+            )
+        block.step_all()
+        rounds += 1
+    return preperiods
+
+
 def batch_limit_cycles(
     n: int,
     pointers: np.ndarray,
     counts: np.ndarray,
     max_rounds: int,
     strict: bool = True,
+    *,
+    compact_ratio: float = DEFAULT_COMPACT_RATIO,
+    _fingerprint_weights: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> BatchLimitCycles:
-    """Brent's cycle search over every lane, with shared stepping.
+    """Brent's cycle search over every lane, array-native end to end.
 
-    The kernel advances all lanes with one vectorized step per round;
-    only the key comparison and the per-lane ``(power, lam)`` schedule
-    run in Python.  Results match
-    :func:`repro.core.limit.find_limit_cycle` exactly (both compute
-    the true minimal period and preperiod).
+    Stepping, the ``(power, lam)`` schedule, snapshot refreshes and
+    the hare-vs-snapshot comparison are all vectorized over the
+    unresolved lanes; configurations are compared through uint64
+    fingerprints with byte-exact confirmation of every hit, so results
+    match :func:`repro.core.limit.find_limit_cycle` exactly (both
+    compute the true minimal period and preperiod).
+
+    ``compact_ratio`` tunes when resolved lanes are compacted out of
+    the working arrays (see :data:`DEFAULT_COMPACT_RATIO`);
+    ``_fingerprint_weights`` lets tests inject degenerate weights to
+    force fingerprint collisions.
 
     With ``strict``, exhausting ``max_rounds`` raises ``RuntimeError``
     (mirroring the reference); otherwise unresolved lanes report -1,
@@ -449,76 +819,22 @@ def batch_limit_cycles(
     """
     if max_rounds < 1:
         raise ValueError(f"max_rounds must be positive, got {max_rounds}")
-    hare = BatchRingKernel(n, pointers, counts, track_cover=False)
-    num_lanes = hare.num_lanes
-    saved = hare.state_keys()  # tortoise snapshots (initial configuration)
-    power = np.ones(num_lanes, dtype=np.int64)
-    lam = np.zeros(num_lanes, dtype=np.int64)
-    periods = np.zeros(num_lanes, dtype=np.int64)
-    pending = list(range(num_lanes))
-    pending_mask = np.ones(num_lanes, dtype=bool)
-    steps = 0
-    while pending:
-        if steps >= max_rounds:
-            if strict:
-                raise RuntimeError(
-                    f"{len(pending)} lanes have no limit cycle confirmed "
-                    f"within {max_rounds} rounds"
-                )
-            periods[pending] = -1
-            break
-        # Resolved lanes are frozen: their configuration is no longer
-        # read, and the search tail then scales with unresolved lanes.
-        hare.step(lane_mask=pending_mask, need_visits=False)
-        steps += 1
-        keys = hare.state_keys(pending)
-        still = []
-        for b in pending:
-            lam[b] += 1
-            if keys[b] == saved[b]:
-                periods[b] = lam[b]
-                pending_mask[b] = False
-            else:
-                if lam[b] == power[b]:
-                    saved[b] = keys[b]
-                    power[b] *= 2
-                    lam[b] = 0
-                still.append(b)
-        pending = still
-
-    # Phase 2: preperiods, with the hare a full period ahead per lane.
-    # Unresolved lanes (period -1) are frozen by the masks throughout.
-    tortoise = BatchRingKernel(n, pointers, counts, track_cover=False)
-    hare = BatchRingKernel(n, pointers, counts, track_cover=False)
-    for t in range(int(periods.max())):
-        hare.step(lane_mask=periods > t, need_visits=False)
-    preperiods = np.zeros(num_lanes, dtype=np.int64)
-    resolved = periods > 0
-    tortoise_keys = tortoise.state_keys()
-    hare_keys = hare.state_keys()
-    unmatched = np.array(
-        [
-            resolved[b] and tortoise_keys[b] != hare_keys[b]
-            for b in range(num_lanes)
-        ]
+    _check_compact_ratio(compact_ratio)
+    # The kernel constructor owns validation and dtype selection; its
+    # typed arrays seed both Brent phases.
+    seed = BatchRingKernel(n, pointers, counts, track_cover=False)
+    words = _padded_columns(n, seed._counts.dtype) * (
+        seed._counts.dtype.itemsize
+    ) // 8
+    fingerprint = _Fingerprinter(words, words, weights=_fingerprint_weights)
+    periods = _brent_periods(
+        seed._ptr, seed._counts, max_rounds, strict, fingerprint,
+        compact_ratio,
     )
-    steps = 0
-    while unmatched.any():
-        if steps > max_rounds:
-            raise RuntimeError(
-                f"preperiod exceeds {max_rounds} rounds (inconsistent state)"
-            )
-        tortoise.step(lane_mask=unmatched, need_visits=False)
-        hare.step(lane_mask=unmatched, need_visits=False)
-        steps += 1
-        preperiods[unmatched] += 1
-        open_lanes = np.flatnonzero(unmatched)
-        tortoise_keys = tortoise.state_keys(open_lanes)
-        hare_keys = hare.state_keys(open_lanes)
-        for b in open_lanes:
-            if tortoise_keys[b] == hare_keys[b]:
-                unmatched[b] = False
-    preperiods[~resolved] = -1
+    preperiods = _brent_preperiods(
+        seed._ptr, seed._counts, periods, max_rounds, fingerprint,
+        compact_ratio,
+    )
     return BatchLimitCycles(preperiods=preperiods, periods=periods)
 
 
@@ -535,30 +851,91 @@ def batch_return_gaps(
     including the wrap-around gap (last visit -> first visit of the
     next repetition), exactly like
     :func:`repro.core.limit.return_time_exact`.
+
+    Both the preperiod advance and the period scan sort lanes by
+    schedule length, so the active set is a contiguous prefix: lanes
+    whose period ended are dropped from the ``first``/``last``/
+    ``max_gap`` updates entirely (the per-round temporaries shrink
+    with the active prefix) instead of being masked at full width.
     """
-    runner = BatchRingKernel(n, pointers, counts, track_cover=False)
-    num_lanes = runner.num_lanes
+    seed = BatchRingKernel(n, pointers, counts, track_cover=False)
+    num_lanes = seed.num_lanes
     preperiods, periods = cycles.preperiods, cycles.periods
     if np.any(periods < 1):
         raise ValueError(
             "every lane needs a confirmed cycle; slice unresolved "
             "(period -1) lanes out before computing gaps"
         )
-    for t in range(int(preperiods.max())):
-        runner.step(lane_mask=preperiods > t, need_visits=False)
+    # Advance to each lane's cycle start (preperiod-descending prefix).
+    order_pre = np.argsort(-preperiods, kind="stable")
+    block = _LaneBlock(seed._ptr[order_pre], seed._counts[order_pre])
+    _advance_by_schedule(block, preperiods[order_pre])
 
-    first = np.full((num_lanes, n), -1, dtype=np.int64)
-    last = np.full((num_lanes, n), -1, dtype=np.int64)
-    max_gap = np.zeros((num_lanes, n), dtype=np.int64)
-    for t in range(int(periods.max())):
-        visits = runner.step(lane_mask=periods > t)
-        seen_before = visits & (last >= 0)
-        gaps = t - last
-        np.maximum(max_gap, np.where(seen_before, gaps, 0), out=max_gap)
-        first[visits & (first < 0)] = t
-        last[visits] = t
+    # Re-sort rows by period so the scan's active set is a prefix too.
+    order = np.argsort(-periods, kind="stable")
+    position = np.empty(num_lanes, dtype=np.int64)
+    position[order_pre] = np.arange(num_lanes)
+    block = block.take(position[order])
+    schedule = periods[order]
 
-    wrap = first + periods[:, np.newaxis] - last
+    # Use the narrowest stamp dtype the longest period fits in — the
+    # scan's cost is memory traffic over these arrays; a period long
+    # enough to overflow int64 could never be scanned anyway.
+    longest = int(schedule[0])
+    if longest < 2**15 - 1:
+        stamp = np.int16
+    elif longest < 2**31 - 1:
+        stamp = np.int32
+    else:
+        stamp = np.int64
+    first = np.full((num_lanes, n), -1, dtype=stamp)
+    last = np.full((num_lanes, n), -1, dtype=stamp)
+    max_gap = np.zeros((num_lanes, n), dtype=stamp)
+    visits = np.empty((num_lanes, n), dtype=bool)
+    mask = np.empty((num_lanes, n), dtype=bool)
+    gap = np.empty((num_lanes, n), dtype=stamp)
+    ascending = -schedule
+    first_open = 0  # lanes [first_open:active] still have unset `first`
+    for t in range(int(schedule[0])):
+        active = int(np.searchsorted(ascending, -t, side="left"))
+        if active == 0:
+            break
+        block.step_prefix(active)
+        # All updates run in place on the active prefix — no per-round
+        # allocations, no full-batch temporaries.  The max_gap update
+        # is unmasked on purpose: for a node visited at t the value
+        # t - last is exactly the gap being closed; between visits the
+        # committed values only grow toward that same closing value;
+        # and after the final visit they stay strictly below the
+        # wrap-around term (t - last < first + period - last, as
+        # first >= 0 and t < period), which the maximum with ``wrap``
+        # takes anyway.  Never-visited nodes are overwritten with inf.
+        vis, g = visits[:active], gap[:active]
+        last_a = last[:active]
+        np.not_equal(block.cnt[:active], 0, out=vis)
+        np.subtract(t, last_a, out=g, casting="unsafe")
+        np.maximum(max_gap[:active], g, out=max_gap[:active])
+        if first_open < active:
+            # `first` needs per-node stamping only until every node of
+            # a lane has been seen once (within ~n/k rounds on a ring,
+            # far sooner than the period); finished lanes are skipped
+            # wholesale via the sorted prefix.
+            first_a = first[first_open:active]
+            m = mask[first_open:active]
+            np.less(first_a, 0, out=m)
+            m &= visits[first_open:active]
+            np.copyto(first_a, t, where=m)
+            while first_open < active and not bool(
+                (first[first_open] < 0).any()
+            ):
+                first_open += 1
+        np.copyto(last_a, t, where=vis)
+
+    wrap = first.astype(np.int64) + schedule[:, np.newaxis] - last
     gaps = np.maximum(max_gap, wrap).astype(float)
     gaps[first < 0] = np.inf  # never visited in-cycle (impossible on a ring)
-    return gaps.max(axis=1), gaps.min(axis=1)
+    worst = np.empty(num_lanes)
+    best = np.empty(num_lanes)
+    worst[order] = gaps.max(axis=1)
+    best[order] = gaps.min(axis=1)
+    return worst, best

@@ -37,8 +37,10 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.sweep.batch_ring import (
+    DEFAULT_COMPACT_RATIO,
     BatchLimitCycles,
     BatchRingKernel,
+    _check_compact_ratio,
     batch_limit_cycles,
     batch_return_gaps,
     lanes_from_configs,
@@ -192,10 +194,11 @@ def _compute_rotor_chunk(payload: dict) -> list[tuple[str, dict]]:
     n = payload["n"]
     max_rounds = payload["max_rounds"]
     metrics: Sequence[str] = payload["metrics"]
+    compact_ratio = payload.get("compact_ratio", DEFAULT_COMPACT_RATIO)
     configs = [SweepConfig.from_dict(data) for data in payload["configs"]]
-    lanes = [config.build() for config in configs]
+    built = [config.build() for config in configs]
     pointers, counts = lanes_from_configs(
-        n, [(directions, agents) for agents, directions in lanes]
+        n, [(directions, agents) for agents, directions in built]
     )
 
     out: list[dict] = [{} for _ in configs]
@@ -206,7 +209,8 @@ def _compute_rotor_chunk(payload: dict) -> list[tuple[str, dict]]:
             out[b]["cover"] = int(cover) if cover >= 0 else None
     if "stabilization" in metrics or "return" in metrics:
         cycles = batch_limit_cycles(
-            n, pointers, counts, max_rounds, strict=False
+            n, pointers, counts, max_rounds, strict=False,
+            compact_ratio=compact_ratio,
         )
         resolved = cycles.periods > 0
         if "stabilization" in metrics:
@@ -222,18 +226,18 @@ def _compute_rotor_chunk(payload: dict) -> list[tuple[str, dict]]:
             for b in range(len(configs)):
                 out[b]["worst_gap"] = None
                 out[b]["best_gap"] = None
-            lanes = np.flatnonzero(resolved)
-            if lanes.size:
+            resolved_lanes = np.flatnonzero(resolved)
+            if resolved_lanes.size:
                 worst, best = batch_return_gaps(
                     n,
-                    pointers[lanes],
-                    counts[lanes],
+                    pointers[resolved_lanes],
+                    counts[resolved_lanes],
                     BatchLimitCycles(
-                        preperiods=cycles.preperiods[lanes],
-                        periods=cycles.periods[lanes],
+                        preperiods=cycles.preperiods[resolved_lanes],
+                        periods=cycles.periods[resolved_lanes],
                     ),
                 )
-                for i, b in enumerate(lanes):
+                for i, b in enumerate(resolved_lanes):
                     out[b]["worst_gap"] = float(worst[i])
                     out[b]["best_gap"] = float(best[i])
     return [
@@ -294,6 +298,7 @@ def _plan_chunks(
     misses: list[SweepConfig],
     chunk_lanes: int,
     walk_chunk_walkers: int = DEFAULT_WALK_CHUNK_WALKERS,
+    compact_ratio: float = DEFAULT_COMPACT_RATIO,
 ) -> list[dict]:
     """Group misses by (model, n, budget, metrics); slice into payloads.
 
@@ -303,6 +308,8 @@ def _plan_chunks(
     cells.  Walk chunks are additionally split by total walker count
     (``Σ k·repetitions``), which bounds the walk kernel's block-buffer
     memory regardless of how many repetitions a cell fans out into.
+    ``compact_ratio`` rides along in every rotor payload to tune the
+    limit-cycle pipeline's lane compaction.
     """
     groups: dict[
         tuple[str, int, int, tuple[str, ...]], list[SweepConfig]
@@ -321,6 +328,7 @@ def _plan_chunks(
                     "n": n,
                     "max_rounds": max_rounds,
                     "metrics": list(metrics),
+                    "compact_ratio": compact_ratio,
                     "configs": [config.to_dict() for config in chunk],
                 }
             )
@@ -368,7 +376,9 @@ def run_sweep(
     jobs: int = 1,
     cache_dir: str | None = None,
     progress: ProgressFn | None = None,
-    chunk_lanes: int = DEFAULT_CHUNK_LANES,
+    chunk_lanes: int | None = None,
+    walk_chunk_walkers: int | None = None,
+    compact_ratio: float | None = None,
 ) -> SweepResult:
     """Execute a sweep: cache probe, then parallel batched simulation.
 
@@ -376,11 +386,36 @@ def run_sweep(
     pool of ``jobs`` workers consumes them.  ``progress`` (if given) is
     called with ``(done, total)`` configuration counts as results
     arrive, cache hits included.
+
+    The scheduling knobs — ``chunk_lanes`` (lanes per kernel chunk),
+    ``walk_chunk_walkers`` (walker cap per walk chunk) and
+    ``compact_ratio`` (the limit-cycle pipeline's lane-compaction
+    threshold) — resolve explicit argument > scenario hint > module
+    default, so benchmarks and the CLI can sweep them without editing
+    scenarios.  None of them affects any result or cache identity,
+    only how the work is batched.
     """
     if jobs < 0:
         raise ValueError(f"jobs must be non-negative, got {jobs}")
+    if chunk_lanes is None:
+        chunk_lanes = spec.chunk_lanes or DEFAULT_CHUNK_LANES
+    if walk_chunk_walkers is None:
+        walk_chunk_walkers = (
+            spec.walk_chunk_walkers or DEFAULT_WALK_CHUNK_WALKERS
+        )
+    if compact_ratio is None:
+        compact_ratio = (
+            spec.compact_ratio
+            if spec.compact_ratio is not None
+            else DEFAULT_COMPACT_RATIO
+        )
     if chunk_lanes < 1:
         raise ValueError(f"chunk_lanes must be positive, got {chunk_lanes}")
+    if walk_chunk_walkers < 1:
+        raise ValueError(
+            f"walk_chunk_walkers must be positive, got {walk_chunk_walkers}"
+        )
+    _check_compact_ratio(compact_ratio)
     started = time.perf_counter()
     configs = spec.configs()
     total = len(configs)
@@ -401,7 +436,9 @@ def run_sweep(
         progress(done, total)
 
     by_hash = {config.config_hash: config for config in misses}
-    payloads = _plan_chunks(misses, chunk_lanes)
+    payloads = _plan_chunks(
+        misses, chunk_lanes, walk_chunk_walkers, compact_ratio
+    )
     if payloads:
         if jobs > 1:
             with multiprocessing.Pool(processes=jobs) as pool:

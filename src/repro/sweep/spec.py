@@ -270,6 +270,15 @@ class ScenarioSpec:
     #: Brent's stabilization search (preperiod is O(n²) on the ring).
     max_rounds_factor: int = 16
     description: str = field(default="", compare=False)
+    #: Scheduling hints for the executor — lanes per kernel chunk,
+    #: walker cap per walk chunk, and the limit-cycle pipeline's
+    #: lane-compaction threshold.  ``None`` defers to the executor
+    #: defaults; explicit ``run_sweep`` arguments override either.
+    #: Deliberately excluded from cell identities and hashes: they
+    #: change how the grid is batched, never what any cell computes.
+    chunk_lanes: int | None = field(default=None, compare=False)
+    walk_chunk_walkers: int | None = field(default=None, compare=False)
+    compact_ratio: float | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.ns or any(n < 3 for n in self.ns):
@@ -307,6 +316,20 @@ class ScenarioSpec:
             raise ValueError("at least one seed is required")
         if self.max_rounds_factor < 1:
             raise ValueError("max_rounds_factor must be positive")
+        if self.chunk_lanes is not None and self.chunk_lanes < 1:
+            raise ValueError(
+                f"chunk_lanes hint must be positive, got {self.chunk_lanes}"
+            )
+        if self.walk_chunk_walkers is not None and self.walk_chunk_walkers < 1:
+            raise ValueError(
+                "walk_chunk_walkers hint must be positive, got "
+                f"{self.walk_chunk_walkers}"
+            )
+        if self.compact_ratio is not None:
+            # Shared validator: one definition of the legal range.
+            from repro.sweep.batch_ring import _check_compact_ratio
+
+            _check_compact_ratio(self.compact_ratio)
 
     def budget(self, n: int) -> int:
         return self.max_rounds_factor * n * n + 1024

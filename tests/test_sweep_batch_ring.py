@@ -22,10 +22,17 @@ from repro.core import placement, pointers
 from repro.core.ring import RingRotorRouter
 from repro.sweep.batch_ring import (
     BatchRingKernel,
+    _padded_columns,
     batch_limit_cycles,
     batch_return_gaps,
     lanes_from_configs,
 )
+
+
+def _fingerprint_words(n: int, max_agents: int = 126) -> int:
+    """Word count of the fingerprint weight vectors for an int8 batch."""
+    dtype = np.dtype(np.int8) if max_agents <= 126 else np.dtype(np.int16)
+    return _padded_columns(n, dtype) * dtype.itemsize // 8
 
 
 @st.composite
@@ -206,6 +213,230 @@ class TestLimitBehaviour:
         assert int(cycles.periods[0]) == ref.period
         assert int(cycles.preperiods[0]) == ref.preperiod
         assert int(cycles.periods[1]) == -1
+
+
+def _family_configurations(n, seed_base=0):
+    """One config per (placement, pointer) init family at ring size n."""
+    rng = np.random.default_rng(seed_base)
+    k_values = (1, 2, 3, 4, 7, n // 2)
+    spaced = {k: placement.equally_spaced(n, k) for k in k_values}
+    configurations = []
+    for k in k_values:
+        seed = int(rng.integers(2**31))
+        for agents in (
+            placement.all_on_one(k),
+            spaced[k],
+            placement.half_ring(n, k),
+            placement.random_nodes(n, k, seed=seed),
+            placement.clustered(n, k, max(1, int(k**0.5)), seed=seed),
+        ):
+            for dirs in (
+                pointers.ring_toward_node(n, 0),
+                pointers.ring_negative(n, agents),
+                pointers.ring_positive(n, agents),
+                pointers.ring_alternating(n),
+                pointers.ring_random(n, seed=seed),
+            ):
+                configurations.append((dirs, agents))
+    return configurations
+
+
+class TestRandomizedLimitEquivalence:
+    """Acceptance bar: the array-native pipeline is pinned exactly to
+    repro.core.limit (find_limit_cycle / return_time_exact) on 100+
+    randomized configurations spanning every initialization family."""
+
+    def test_100_plus_family_configurations(self):
+        total = 0
+        for n, seed_base in ((12, 1), (23, 2), (32, 3)):
+            configurations = _family_configurations(n, seed_base)
+            budget = 16 * n * n + 1024
+            ptr, cnt = lanes_from_configs(n, configurations)
+            cycles = batch_limit_cycles(n, ptr, cnt, budget)
+            worst, best = batch_return_gaps(n, ptr, cnt, cycles)
+            for lane, (dirs, agents) in enumerate(configurations):
+                ref = ring_rotor_return_time_exact(n, agents, dirs)
+                assert int(cycles.preperiods[lane]) == ref.preperiod
+                assert int(cycles.periods[lane]) == ref.period
+                assert float(worst[lane]) == ref.worst_gap
+                assert float(best[lane]) == ref.best_gap
+            total += len(configurations)
+        assert total >= 100
+
+    def test_truncation_lanes_mix_exactly(self):
+        """strict=False: lanes inside the budget match the reference
+        exactly, lanes beyond it report -1 — in one mixed batch."""
+        n = 24
+        k = 4
+        spaced = placement.equally_spaced(n, k)
+        fast = (pointers.ring_positive(n, spaced), spaced)
+        slow = (
+            pointers.ring_toward_node(n, 0),
+            placement.all_on_one(k),
+        )
+        configurations = [fast, slow, fast, slow]
+        budget = 3 * n  # enough for the patrol, not for the worst case
+        ptr, cnt = lanes_from_configs(n, configurations)
+        cycles = batch_limit_cycles(n, ptr, cnt, budget, strict=False)
+        ref = ring_rotor_return_time_exact(n, fast[1], fast[0])
+        for lane in (0, 2):
+            assert int(cycles.preperiods[lane]) == ref.preperiod
+            assert int(cycles.periods[lane]) == ref.period
+        for lane in (1, 3):
+            assert int(cycles.preperiods[lane]) == -1
+            assert int(cycles.periods[lane]) == -1
+        # Resolved lanes still produce exact gaps after slicing.
+        lanes = np.flatnonzero(cycles.periods > 0)
+        from repro.sweep.batch_ring import BatchLimitCycles
+
+        worst, best = batch_return_gaps(
+            n, ptr[lanes], cnt[lanes],
+            BatchLimitCycles(
+                preperiods=cycles.preperiods[lanes],
+                periods=cycles.periods[lanes],
+            ),
+        )
+        assert [float(w) for w in worst] == [ref.worst_gap] * 2
+        assert [float(b) for b in best] == [ref.best_gap] * 2
+
+    def test_wide_count_dtypes_match_reference(self):
+        """k > 126 escalates counts to int16: the packed fingerprint
+        and the step arithmetic must stay exact across dtypes."""
+        n = 24
+        for k in (126, 127, 200):
+            agents = placement.random_nodes(n, k, seed=k)
+            dirs = pointers.ring_random(n, seed=k)
+            ptr, cnt = lanes_from_configs(n, [(dirs, agents)])
+            kernel = BatchRingKernel(n, ptr, cnt, track_cover=False)
+            assert kernel._counts.dtype == (
+                np.int8 if k <= 126 else np.int16
+            )
+            budget = 16 * n * n + 1024
+            cycles = batch_limit_cycles(n, ptr, cnt, budget)
+            worst, best = batch_return_gaps(n, ptr, cnt, cycles)
+            ref = ring_rotor_return_time_exact(n, agents, dirs)
+            assert int(cycles.preperiods[0]) == ref.preperiod
+            assert int(cycles.periods[0]) == ref.period
+            assert float(worst[0]) == ref.worst_gap
+            assert float(best[0]) == ref.best_gap
+
+    def test_truncated_lanes_resolve_exactly_with_budget(self):
+        """The same lanes that truncate resolve exactly once the
+        budget allows — truncation is a budget fact, not corruption."""
+        n, k = 24, 4
+        slow = (pointers.ring_toward_node(n, 0), placement.all_on_one(k))
+        ptr, cnt = lanes_from_configs(n, [slow])
+        short = batch_limit_cycles(n, ptr, cnt, 3 * n, strict=False)
+        assert int(short.periods[0]) == -1
+        full = batch_limit_cycles(n, ptr, cnt, 16 * n * n + 1024)
+        ref = ring_rotor_return_time_exact(n, slow[1], slow[0])
+        assert int(full.preperiods[0]) == ref.preperiod
+        assert int(full.periods[0]) == ref.period
+
+
+class TestFingerprintCollisions:
+    """Degenerate fingerprint weights force collisions; the byte-level
+    confirmation must still deliver the true minimal period/preperiod."""
+
+    def _reference(self, n, configurations):
+        return [
+            ring_rotor_return_time_exact(n, agents, dirs)
+            for dirs, agents in configurations
+        ]
+
+    def _mixed_batch(self, n):
+        k = 3
+        spaced = placement.equally_spaced(n, k)
+        return [
+            (pointers.ring_positive(n, spaced), spaced),
+            (pointers.ring_toward_node(n, 0), placement.all_on_one(k)),
+            (
+                pointers.ring_random(n, seed=7),
+                placement.random_nodes(n, k, seed=7),
+            ),
+        ]
+
+    def test_all_zero_weights_collide_every_round(self):
+        # Zero weights make every fingerprint 0: every comparison is a
+        # "hit" and only the byte-exact confirmation separates states.
+        n = 24
+        configurations = self._mixed_batch(n)
+        words = _fingerprint_words(n)
+        zero = np.zeros(words, dtype=np.uint64)
+        ptr, cnt = lanes_from_configs(n, configurations)
+        cycles = batch_limit_cycles(
+            n, ptr, cnt, 16 * n * n + 1024,
+            _fingerprint_weights=(zero, zero),
+        )
+        worst, best = batch_return_gaps(n, ptr, cnt, cycles)
+        for lane, ref in enumerate(self._reference(n, configurations)):
+            assert int(cycles.preperiods[lane]) == ref.preperiod
+            assert int(cycles.periods[lane]) == ref.period
+            assert float(worst[lane]) == ref.worst_gap
+            assert float(best[lane]) == ref.best_gap
+
+    def test_count_blind_weights_collide_on_count_changes(self):
+        # Zero count weights: configurations differing only in agent
+        # counts share a fingerprint — crafted collisions that the
+        # confirmation step must refute round after round.
+        n = 24
+        configurations = self._mixed_batch(n)
+        words = _fingerprint_words(n)
+        rng = np.random.default_rng(5)
+        w_ptr = rng.integers(0, 2**64, size=words, dtype=np.uint64)
+        zero = np.zeros(words, dtype=np.uint64)
+        ptr, cnt = lanes_from_configs(n, configurations)
+        cycles = batch_limit_cycles(
+            n, ptr, cnt, 16 * n * n + 1024,
+            _fingerprint_weights=(w_ptr, zero),
+        )
+        for lane, ref in enumerate(self._reference(n, configurations)):
+            assert int(cycles.preperiods[lane]) == ref.preperiod
+            assert int(cycles.periods[lane]) == ref.period
+
+    def test_weight_shape_validation(self):
+        n = 24
+        ptr, cnt = lanes_from_configs(
+            n, [(pointers.ring_uniform(n), [0, 1])]
+        )
+        bad = np.zeros(1, dtype=np.uint64)
+        good = np.zeros(_fingerprint_words(n), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            batch_limit_cycles(
+                n, ptr, cnt, 100, _fingerprint_weights=(bad, good)
+            )
+
+
+class TestCompaction:
+    def test_results_invariant_across_ratios(self):
+        n = 32
+        configurations = _family_configurations(n, seed_base=9)[:40]
+        budget = 16 * n * n + 1024
+        ptr, cnt = lanes_from_configs(n, configurations)
+        baseline = batch_limit_cycles(n, ptr, cnt, budget)
+        for ratio in (0.0, 0.3, 1.0):
+            cycles = batch_limit_cycles(
+                n, ptr, cnt, budget, compact_ratio=ratio
+            )
+            assert np.array_equal(cycles.preperiods, baseline.preperiods)
+            assert np.array_equal(cycles.periods, baseline.periods)
+
+    def test_invalid_ratio_rejected(self):
+        n = 8
+        ptr, cnt = lanes_from_configs(n, [(pointers.ring_uniform(n), [0])])
+        for ratio in (-0.1, 1.5):
+            with pytest.raises(ValueError):
+                batch_limit_cycles(n, ptr, cnt, 100, compact_ratio=ratio)
+
+
+class TestPositions:
+    def test_multiplicity_and_order(self):
+        n = 6
+        ptr, cnt = lanes_from_configs(
+            n, [(pointers.ring_uniform(n), [4, 0, 2, 0, 0])]
+        )
+        kernel = BatchRingKernel(n, ptr, cnt)
+        assert kernel.positions(0) == [0, 0, 0, 2, 4]
 
 
 class TestLaneMask:

@@ -81,6 +81,40 @@ class TestMetrics:
             "best_gap": None,
         }
 
+    def test_return_metrics_with_mixed_resolved_and_truncated_lanes(self):
+        """Regression for the `lanes` shadowing in _compute_rotor_chunk:
+        one chunk mixing resolved and truncated lanes must report exact
+        gaps for the resolved lanes and nulls for the truncated ones."""
+        n = 16
+        fast = SweepConfig(
+            n=n, k=2, placement="equally_spaced", pointer="positive",
+            seed=0, metrics=("stabilization", "return"), max_rounds=64,
+        )
+        slow = SweepConfig(
+            n=n, k=4, placement="all_on_one", pointer="toward_node0",
+            seed=0, metrics=("stabilization", "return"), max_rounds=64,
+        )
+        payload = {
+            "model": "rotor",
+            "n": n,
+            "max_rounds": 64,
+            "metrics": ["stabilization", "return"],
+            "configs": [slow.to_dict(), fast.to_dict(), slow.to_dict()],
+        }
+        results = dict(compute_chunk(payload))
+        agents, directions = fast.build()
+        ref = ring_rotor_return_time_exact(n, agents, directions)
+        fast_metrics = results[fast.config_hash]
+        assert fast_metrics["preperiod"] == ref.preperiod
+        assert fast_metrics["period"] == ref.period
+        assert fast_metrics["worst_gap"] == ref.worst_gap
+        assert fast_metrics["best_gap"] == ref.best_gap
+        slow_metrics = results[slow.config_hash]
+        assert slow_metrics == {
+            "preperiod": None, "period": None,
+            "worst_gap": None, "best_gap": None,
+        }
+
     def test_table_layout(self):
         result = run_sweep(_cover_spec())
         table = result.table()
@@ -186,6 +220,66 @@ class TestWalkModel:
             assert len(payload["configs"]) == 1 or weight <= 20
         seen = [c["k"] for p in payloads for c in p["configs"]]
         assert sorted(seen) == [2, 3, 4, 5]
+
+
+class TestSchedulingKnobs:
+    def test_walk_chunk_walkers_override_preserves_results(self):
+        spec = ScenarioSpec(
+            name="walkers-test",
+            ns=(16,),
+            ks=(2, 3),
+            families=(InitFamily("all_on_one", "toward_node0"),),
+            metrics=("cover",),
+            models=("walk",),
+            repetitions=3,
+        )
+        default = run_sweep(spec)
+        tiny = run_sweep(spec, walk_chunk_walkers=4)
+        assert [c.metrics for c in default.results] == [
+            c.metrics for c in tiny.results
+        ]
+
+    def test_compact_ratio_override_preserves_results(self):
+        spec = _cover_spec(
+            ns=(16,), metrics=("stabilization", "return")
+        )
+        default = run_sweep(spec)
+        for ratio in (0.0, 1.0):
+            tuned = run_sweep(spec, compact_ratio=ratio)
+            assert [c.metrics for c in default.results] == [
+                c.metrics for c in tuned.results
+            ]
+
+    def test_spec_hints_are_used_and_results_identical(self):
+        plain = _cover_spec(ns=(16,))
+        hinted = _cover_spec(
+            ns=(16,), chunk_lanes=2, walk_chunk_walkers=8,
+            compact_ratio=1.0,
+        )
+        assert [c.metrics for c in run_sweep(plain).results] == [
+            c.metrics for c in run_sweep(hinted).results
+        ]
+
+    def test_explicit_argument_beats_spec_hint(self):
+        # chunk_lanes=1 hint would make one chunk per cell; the
+        # explicit override must win.  Chunking is observable through
+        # the progress callback: one call up front plus one per chunk.
+        spec = _cover_spec(ns=(16,), chunk_lanes=1)
+        calls: list[tuple[int, int]] = []
+        run_sweep(spec, chunk_lanes=64, progress=lambda d, t: calls.append((d, t)))
+        assert len(calls) == 2  # initial report + the single 64-lane chunk
+        calls.clear()
+        run_sweep(spec, progress=lambda d, t: calls.append((d, t)))
+        assert len(calls) == 1 + spec.num_configs  # hint: one cell per chunk
+
+    def test_invalid_values_rejected(self):
+        spec = _cover_spec(ns=(16,))
+        with pytest.raises(ValueError):
+            run_sweep(spec, chunk_lanes=0)
+        with pytest.raises(ValueError):
+            run_sweep(spec, walk_chunk_walkers=0)
+        with pytest.raises(ValueError):
+            run_sweep(spec, compact_ratio=1.5)
 
 
 class TestChunkPlanning:

@@ -141,6 +141,31 @@ class TestCliSweep:
         assert excinfo.value.code == 2
         assert "--jobs" in capsys.readouterr().err
 
+    def test_invalid_chunk_lanes_exits_2(self, capsys):
+        # Validated at the argparse layer like --jobs: bad values exit
+        # 2 with a one-line message, never a run_sweep traceback.
+        for bad in ("-1", "0", "two"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(
+                    ["sweep", "table1", "--chunk-lanes", bad,
+                     "--cache", "none"]
+                )
+            assert excinfo.value.code == 2
+            assert "--chunk-lanes" in capsys.readouterr().err
+
+    def test_chunk_lanes_accepted(self, capsys):
+        assert main(
+            ["sweep", "table1", "--quick", "--chunk-lanes", "2",
+             "--cache", "none"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep 'table1'" in out
+
+    def test_stabilization_scenario_carries_scheduling_hints(self):
+        spec = registry.scenario("stabilization")
+        assert spec.chunk_lanes == 256
+        assert spec.compact_ratio == 0.5
+
     def test_table1_full_cli_prints_both_models_and_ratios(
         self, tmp_path, capsys
     ):
