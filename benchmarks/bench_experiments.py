@@ -1,0 +1,161 @@
+"""[perf] Paper-reproduction experiments through the batched backend.
+
+``python -m repro run table1`` historically measured every (n, k,
+placement, model) cell with serial per-config loops: one Python
+``RingRotorRouter`` stepped round by round per rotor cell, one
+``RingRandomWalks`` per walk repetition, one serial Brent search per
+return-time cell.  The analysis backend
+(:mod:`repro.analysis.backend`) packs the same cells into
+``BatchRingKernel`` / ``BatchRingWalks`` lanes via the sweep executor,
+so the whole grid advances with shared vectorized rounds.
+
+This benchmark pins the delivered end-to-end speedup on the
+**table1-shape grid**: every measured column of Table 1 — rotor
+worst/best covers, walk worst/best repetition lanes, and the
+return-time column (batched Brent limit cycles vs serial Brent) —
+scheduled by the same ``plan_cover_table`` / ``plan_return_time_table``
+planners ``run_table1`` uses, with the k-ladder at production sweep
+density (16 rungs; the serial loops priced that axis out, which is why
+the default experiment stops at 5).  One :class:`MeasurementPlan` per
+backend, uncached:
+
+* **reference** — ``backend="reference"``: the original serial loops;
+* **batch** — ``backend="batch"``: the kernels, single process
+  (``jobs=1``), so the measured ratio is pure batching — no
+  multiprocessing, no cache hits.
+
+The speedup only counts if the results agree: the benchmark asserts
+every rotor cell (cover, preperiod, period, gaps) is **bit-identical**
+and every walk cell **seed-for-seed identical** (raw repetition
+samples) across backends before timing is reported.
+
+Headline numbers land in ``extra_info`` and ``BENCH_experiments.json``
+(see ``conftest.record_experiments_bench``), uploaded as a CI artifact
+next to ``BENCH_sweep.json``.  ``BENCH_EXPERIMENTS_QUICK=1`` shrinks
+the grid for CI smoke runs (noisy-neighbor machines keep a lower
+speedup floor; the full shape keeps the >= 10x acceptance bar).
+"""
+
+import os
+import time
+
+from conftest import record_experiments_bench
+from repro.analysis.backend import MeasurementPlan
+from repro.experiments.table1 import (
+    plan_cover_table,
+    plan_return_time_table,
+)
+
+QUICK = os.environ.get("BENCH_EXPERIMENTS_QUICK", "") not in ("", "0")
+N = 96 if QUICK else 256
+#: The k-ladder.  Table 1 sweeps k at fixed n; the full-size bench
+#: runs the ladder at production sweep density (the serial loops
+#: priced this axis out — the default experiment stops at 5 rungs).
+KS = (
+    (2, 4, 8, 16)
+    if QUICK
+    else (2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 56, 64)
+)
+REPETITIONS = 3
+RETURN_N = 96 if QUICK else 256
+WALK_WINDOW_FACTOR = 80 if QUICK else 100
+#: CI smoke runners are noisy-neighbor machines and the quick grid is
+#: too small to amortize batching; the full shape keeps the >= 10x
+#: acceptance bar of the migration, the quick shape a floor.
+MIN_SPEEDUP = 1.5 if QUICK else 10.0
+
+
+def _schedule(plan: MeasurementPlan):
+    """The table1-shape grid: exactly what ``run_table1`` schedules."""
+    build_cover = plan_cover_table(plan, N, KS, REPETITIONS, seed=0)
+    build_return = plan_return_time_table(
+        plan, RETURN_N, KS, walk_window_factor=WALK_WINDOW_FACTOR, seed=0
+    )
+    return build_cover, build_return
+
+
+def _run(backend: str):
+    """Schedule + execute one uncached plan; returns (elapsed, tables)."""
+    plan = MeasurementPlan(backend=backend, jobs=1, cache_dir=None)
+    builders = _schedule(plan)
+    started = time.perf_counter()
+    plan.execute()
+    elapsed = time.perf_counter() - started
+    return elapsed, [build() for build in builders], plan
+
+
+def _raw_values(plan: MeasurementPlan):
+    """Every cell's raw metrics, keyed by config hash, for identity
+    assertions (covers, samples, preperiods, periods, gaps)."""
+    return {
+        config_hash: dict(sorted(metrics.items()))
+        for config_hash, metrics in plan._results.items()
+    }
+
+
+def test_experiments_backend_speedup(benchmark):
+    batch_timings: list[float] = []
+    reference_timings: list[float] = []
+    outputs: dict[str, tuple] = {}
+
+    def run_batch():
+        elapsed, tables, plan = _run("batch")
+        batch_timings.append(elapsed)
+        outputs["batch"] = (tables, _raw_values(plan))
+        return tables
+
+    def run_reference():
+        elapsed, tables, plan = _run("reference")
+        reference_timings.append(elapsed)
+        outputs["reference"] = (tables, _raw_values(plan))
+        return tables
+
+    # Manual timing inside the workload keeps the ratio available even
+    # under --benchmark-disable; the sides run interleaved (batch
+    # best-of-3 against reference best-of-2) so thermal and
+    # noisy-neighbor effects hit both alike.
+    benchmark(run_batch)
+    run_reference()
+    while len(batch_timings) < 3:
+        run_batch()
+    run_reference()
+
+    batch_tables, batch_raw = outputs["batch"]
+    reference_tables, reference_raw = outputs["reference"]
+
+    # Identity first: the speedup only counts if the reproduction is
+    # unchanged.  Cell level: identical hashes, and per cell identical
+    # rotor metrics (bit-exact ints/floats) and walk samples
+    # (seed-for-seed ints).
+    assert set(batch_raw) == set(reference_raw)
+    for config_hash, metrics in batch_raw.items():
+        assert metrics == reference_raw[config_hash], config_hash
+    # Table level: the rendered report rows agree verbatim.
+    for mine, theirs in zip(batch_tables, reference_tables):
+        assert mine.render() == theirs.render()
+
+    elapsed = min(batch_timings)
+    reference_elapsed = min(reference_timings)
+    speedup = reference_elapsed / elapsed
+    cells = len(batch_raw)
+    payload = {
+        "n": N,
+        "ks": list(KS),
+        "repetitions": REPETITIONS,
+        "return_n": RETURN_N,
+        "walk_window_factor": WALK_WINDOW_FACTOR,
+        "cells": cells,
+        "quick": QUICK,
+        "batch_sec": round(elapsed, 4),
+        "reference_sec": round(reference_elapsed, 4),
+        "cells_per_sec": round(cells / elapsed, 1),
+        "speedup_vs_reference": round(speedup, 2),
+    }
+    for key, value in payload.items():
+        benchmark.extra_info[key] = value
+    record_experiments_bench("table1_grid", payload)
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched backend only {speedup:.1f}x the serial reference on "
+        f"the table1-shape grid ({elapsed:.3f}s vs "
+        f"{reference_elapsed:.3f}s)"
+    )

@@ -21,9 +21,16 @@ from pathlib import Path
 #: uploaded as a CI artifact.
 BENCH_SWEEP_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 
+#: Perf trajectory of the paper-reproduction experiments (``python -m
+#: repro run``) through the batched analysis backend, maintained by
+#: ``bench_experiments.py`` with the same merge discipline.
+BENCH_EXPERIMENTS_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_experiments.json"
+)
 
-def record_sweep_bench(name: str, payload: dict) -> Path:
-    """Merge one sweep benchmark's results into ``BENCH_sweep.json``.
+
+def _record_bench(path: Path, name: str, payload: dict) -> Path:
+    """Merge one benchmark's results into a JSON trajectory file.
 
     Read-modify-write with a same-directory temp file and atomic
     replace, so benchmarks running in any order (or interrupted) leave
@@ -31,18 +38,29 @@ def record_sweep_bench(name: str, payload: dict) -> Path:
     rather than crashing the benchmark.
     """
     data: dict = {}
-    if BENCH_SWEEP_PATH.exists():
+    if path.exists():
         try:
-            existing = json.loads(BENCH_SWEEP_PATH.read_text())
+            existing = json.loads(path.read_text())
             if isinstance(existing, dict):
                 data = existing
         except (OSError, ValueError):
             pass
     data[name] = payload
-    tmp = BENCH_SWEEP_PATH.parent / f"{BENCH_SWEEP_PATH.name}.tmp.{os.getpid()}"
+    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
     tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    tmp.replace(BENCH_SWEEP_PATH)
-    return BENCH_SWEEP_PATH
+    tmp.replace(path)
+    return path
+
+
+def record_sweep_bench(name: str, payload: dict) -> Path:
+    """Merge one sweep benchmark's results into ``BENCH_sweep.json``."""
+    return _record_bench(BENCH_SWEEP_PATH, name, payload)
+
+
+def record_experiments_bench(name: str, payload: dict) -> Path:
+    """Merge one experiment benchmark's results into
+    ``BENCH_experiments.json``."""
+    return _record_bench(BENCH_EXPERIMENTS_PATH, name, payload)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

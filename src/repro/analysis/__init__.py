@@ -10,9 +10,15 @@
 * :mod:`repro.analysis.remote` — remote vertices (Definition 2,
   Lemma 15) and the Theorem 4 adversary;
 * :mod:`repro.analysis.domains_stats` — domain-evolution traces
-  (Lemma 12 convergence, Figure 1 border statistics, §2.3 growth).
+  (Lemma 12 convergence, Figure 1 border statistics, §2.3 growth);
+* :mod:`repro.analysis.backend` — the analysis→sweep bridge: a
+  :class:`~repro.analysis.backend.MeasurementPlan` collects the
+  per-cell measurement requests an experiment makes and executes them
+  through the batched sweep executor (``backend="batch"``) or the
+  original serial harnesses (``backend="reference"``), bit-identically.
 """
 
+from repro.analysis.backend import BackendStats, MeasurementPlan
 from repro.analysis.cover_time import (
     ring_rotor_cover_time,
     ring_walk_cover_estimate,
@@ -27,6 +33,8 @@ from repro.analysis.remote import (
 from repro.analysis.scaling import fit_power_law, flatness, normalized
 
 __all__ = [
+    "BackendStats",
+    "MeasurementPlan",
     "ring_rotor_cover_time",
     "ring_walk_cover_estimate",
     "rotor_cover_time_general",

@@ -4,24 +4,34 @@ Usage (after ``pip install -e .``, which also installs the ``repro``
 console script)::
 
     python -m repro list                 # experiments + sweep scenarios
-    python -m repro run table1           # one experiment, full size
+    python -m repro run table1           # one experiment, batched backend
+    python -m repro run theorem1 --quick --backend batch   # CI smoke size
     python -m repro run theorem6 --csv out/   # also save CSVs
-    python -m repro all                  # everything (long)
+    python -m repro run table1 --backend reference   # serial escape hatch
+    python -m repro all --quick          # everything, scaled down
     python -m repro sweep table1 --jobs 4     # declarative cached sweep
     python -m repro sweep stabilization --quick --cache out/cache
 
 ``run`` is a thin dispatcher over :mod:`repro.experiments`; every
-experiment module's ``run_*`` defaults define its "full size".
-``sweep`` executes a registered :mod:`repro.sweep` scenario through
-the batched kernel and the parallel executor; results land in an
-on-disk JSON cache (default ``.sweep-cache``), so repeating or
-resuming a sweep only computes the missing cells.
+experiment module's ``run_*`` defaults define its "full size".  The
+paper-reproduction grids (Table 1, the theorems, stabilization, the
+general-graph speed-up) measure through the batched
+:mod:`repro.analysis.backend` by default — ``--backend reference``
+selects the original serial loops (bit-identical results), ``--quick``
+a scaled-down grid, and ``--jobs``/``--cache`` thread straight to the
+sweep executor so experiment cells are parallelized and cached like
+sweep cells.  ``sweep`` executes a registered :mod:`repro.sweep`
+scenario through the batched kernel and the parallel executor; results
+land in an on-disk JSON cache (default ``.sweep-cache``), so repeating
+or resuming a sweep only computes the missing cells.  Both commands
+end with a one-line ``computed=X cached=Y`` accounting.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import sys
 from typing import Callable
 
@@ -75,20 +85,28 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
 }
 
 
-def _reports_of(module_name: str) -> list[Report]:
-    """Collect the default reports of an experiment module.
+def _runners_of(module_name: str) -> list[Callable[..., Report]]:
+    """The report runners of an experiment module.
 
     Figures expose two reports (``run_figure1``/``run_figure2``);
     everything else exposes one ``run_<name>``.
     """
     module = importlib.import_module(module_name)
     short = module_name.rsplit(".", 1)[-1]
-    runners: list[Callable[[], Report]] = []
     if short == "figures":
-        runners = [module.run_figure1, module.run_figure2]
-    else:
-        runners = [getattr(module, f"run_{short}")]
-    return [runner() for runner in runners]
+        return [module.run_figure1, module.run_figure2]
+    return [getattr(module, f"run_{short}")]
+
+
+def _takes_backend_options(runner: Callable[..., Report]) -> bool:
+    """Whether a runner accepts the measurement-backend options.
+
+    Derived from the runner's own signature — the capability lives in
+    exactly one place (the experiment module) instead of a parallel
+    name registry here.  Runners without a grid (figures, continuous)
+    simply don't take ``backend=``.
+    """
+    return "backend" in inspect.signature(runner).parameters
 
 
 def _cmd_list() -> int:
@@ -106,13 +124,38 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(name: str, csv_dir: str | None) -> int:
+def _cmd_run(
+    name: str,
+    csv_dir: str | None,
+    backend: str = "batch",
+    quick: bool = False,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> int:
     if name not in EXPERIMENTS:
         print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
         return 2
     module_name, _ = EXPERIMENTS[name]
-    for report in _reports_of(module_name):
+    runners = _runners_of(module_name)
+    if not any(map(_takes_backend_options, runners)) and (
+        backend != "batch" or quick or jobs != 1
+    ):
+        print(
+            f"note: {name!r} has no measurement grid; "
+            "--backend/--quick/--jobs/--cache are ignored",
+            file=sys.stderr,
+        )
+    reports = [
+        runner(backend=backend, quick=quick, jobs=jobs, cache_dir=cache_dir)
+        if _takes_backend_options(runner)
+        else runner()
+        for runner in runners
+    ]
+    for report in reports:
         print(report.render())
+        if report.stats is not None:
+            # One-line accounting: how many cells actually simulated.
+            print(report.stats.summary_line())
         print()
         if csv_dir:
             for path in report.save_csv(csv_dir):
@@ -151,22 +194,34 @@ def _cmd_sweep(
     for extra in summary_tables(result):
         report.add_table(extra)
     report.add_note(
-        f"{result.cache_hits} cells from cache, {result.cache_misses} "
-        f"computed in {result.elapsed:.2f}s "
+        f"completed in {result.elapsed:.2f}s "
         f"(jobs={jobs}, cache={cache_dir or 'disabled'})"
     )
     print(report.render())
+    # The cell accounting lives on this one standardized line (shared
+    # with `run`'s backend summary and grepped by CI).
+    print(
+        f"computed={result.cache_misses} cached={result.cache_hits}"
+    )
     if csv_dir:
         for path in report.save_csv(csv_dir):
             print(f"wrote {path}")
     return 0
 
 
-def _cmd_all(csv_dir: str | None) -> int:
+def _cmd_all(
+    csv_dir: str | None,
+    backend: str = "batch",
+    quick: bool = False,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> int:
     status = 0
     for name in EXPERIMENTS:
         print(f"######## {name} ########")
-        status = max(status, _cmd_run(name, csv_dir))
+        status = max(
+            status, _cmd_run(name, csv_dir, backend, quick, jobs, cache_dir)
+        )
     return status
 
 
@@ -208,13 +263,30 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list available experiments")
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("name", help="experiment name (see 'list')")
-    run_parser.add_argument(
-        "--csv", metavar="DIR", default=None, help="also save CSV tables"
-    )
     all_parser = sub.add_parser("all", help="run every experiment")
-    all_parser.add_argument(
-        "--csv", metavar="DIR", default=None, help="also save CSV tables"
-    )
+    for exp_parser in (run_parser, all_parser):
+        exp_parser.add_argument(
+            "--csv", metavar="DIR", default=None, help="also save CSV tables"
+        )
+        exp_parser.add_argument(
+            "--backend", choices=("batch", "reference"), default="batch",
+            help="measurement backend for the reproduction grids: "
+            "'batch' (sweep kernels, cached, default) or 'reference' "
+            "(original serial loops; bit-identical results)",
+        )
+        exp_parser.add_argument(
+            "--quick", action="store_true",
+            help="scaled-down grids (CI smoke size)",
+        )
+        exp_parser.add_argument(
+            "--jobs", type=_jobs_argument, default=1, metavar="N",
+            help="worker processes for batched chunks (default: 1)",
+        )
+        exp_parser.add_argument(
+            "--cache", metavar="DIR", default=DEFAULT_SWEEP_CACHE,
+            help="measurement result cache for the batch backend "
+            f"(default: {DEFAULT_SWEEP_CACHE}); 'none' disables caching",
+        )
     sweep_parser = sub.add_parser(
         "sweep", help="run a registered sweep scenario (cached, parallel)"
     )
@@ -245,7 +317,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.name, args.csv)
+        return _cmd_run(
+            args.name,
+            args.csv,
+            backend=args.backend,
+            quick=args.quick,
+            jobs=args.jobs,
+            cache_dir=None if args.cache == "none" else args.cache,
+        )
     if args.command == "sweep":
         from repro.sweep import registry
 
@@ -261,7 +340,13 @@ def main(argv: list[str] | None = None) -> int:
             args.name, args.jobs, cache_dir, args.quick, args.csv,
             args.chunk_lanes,
         )
-    return _cmd_all(args.csv)
+    return _cmd_all(
+        args.csv,
+        backend=args.backend,
+        quick=args.quick,
+        jobs=args.jobs,
+        cache_dir=None if args.cache == "none" else args.cache,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,12 +17,19 @@ from repro.util.tables import Table
 
 @dataclass
 class Report:
-    """A titled bundle of tables plus free-form notes."""
+    """A titled bundle of tables plus free-form notes.
+
+    ``stats`` optionally carries the measurement backend's execution
+    accounting (a :class:`repro.analysis.backend.BackendStats`); the
+    CLI prints its one-line ``computed=X cached=Y`` summary after the
+    report.
+    """
 
     title: str
     claim: str = ""
     tables: list[Table] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    stats: object | None = None
 
     def add_table(self, table: Table) -> Table:
         self.tables.append(table)
@@ -47,11 +54,30 @@ class Report:
         return self.render()
 
     def save_csv(self, directory: str) -> list[str]:
-        """Write each table as a CSV file; returns the paths written."""
+        """Write each table as a CSV file; returns the paths written.
+
+        Captions that slugify identically (or emptily) are
+        disambiguated with the table index, so no table ever silently
+        overwrites another within one report.
+        """
         os.makedirs(directory, exist_ok=True)
+        base = [_slugify(table.caption) or f"table{i}"
+                for i, table in enumerate(self.tables)]
+        natural = set(base)
+        used: set[str] = set()
+        slugs = []
+        for index, slug in enumerate(base):
+            if base.count(slug) > 1 or slug in used:
+                slug = f"{slug}-t{index}"
+                # A disambiguated name may itself match another
+                # table's natural slug; keep extending until unique
+                # (terminates: every pass strictly lengthens it).
+                while slug in natural or slug in used:
+                    slug = f"{slug}-t{index}"
+            used.add(slug)
+            slugs.append(slug)
         written = []
-        for index, table in enumerate(self.tables):
-            slug = _slugify(table.caption) or f"table{index}"
+        for slug, table in zip(slugs, self.tables):
             path = os.path.join(directory, f"{_slugify(self.title)}_{slug}.csv")
             with open(path, "w", newline="") as handle:
                 writer = csv.writer(handle)

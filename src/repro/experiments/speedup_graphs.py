@@ -9,12 +9,19 @@ families in :mod:`repro.graphs` (grid, torus, hypercube, clique,
 random regular) with random placements/pointers, reporting measured
 speed-up and the best-fitting Table 1 shape; the ring columns are
 included for contrast.
+
+General graphs have no shared vectorized rounds, but the (family x k x
+seed) grid still schedules onto one
+:class:`repro.analysis.backend.MeasurementPlan`: every cover cell is
+cached by its full (graph, agents, ports) identity and the chunks
+spread over worker processes when ``jobs > 1``.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.analysis.backend import MeasurementPlan
 from repro.analysis.cover_time import rotor_cover_time_general
 from repro.analysis.speedup import (
     TABLE1_SHAPES,
@@ -54,17 +61,40 @@ def default_families(scale: int = 1) -> dict[str, GraphFactory]:
     }
 
 
+def quick_families() -> dict[str, GraphFactory]:
+    """CI-sized graph families (~64 nodes) for ``--quick`` runs."""
+    side = 8
+    return {
+        "ring": lambda: ring_graph(side * side),
+        "grid": lambda: grid_2d(side, side),
+        "hypercube": lambda: hypercube(6),
+        "clique": lambda: clique(2 * side),
+    }
+
+
+def random_instance(
+    graph: PortLabeledGraph, k: int, seed: int
+) -> tuple[list[int], list[int]]:
+    """The seeded (agents, ports) instance of one speed-up sample.
+
+    The derivation (one RNG stream drawing agents first, then ports)
+    is the historical one, so scheduled cells reproduce the serial
+    study sample for sample.
+    """
+    rng = make_rng(derive_seed(seed, "speedup", graph.num_nodes, k))
+    agents = [int(rng.integers(0, graph.num_nodes)) for _ in range(k)]
+    ports = random_ports(graph, rng)
+    return agents, ports
+
+
 def mean_cover_over_seeds(
     graph: PortLabeledGraph, k: int, seeds: Sequence[int]
 ) -> float:
-    """Mean cover time over random placements + pointer arrangements."""
+    """Mean cover time over random placements + pointer arrangements
+    (serial reference helper)."""
     samples = []
     for seed in seeds:
-        rng = make_rng(derive_seed(seed, "speedup", graph.num_nodes, k))
-        agents = [
-            int(rng.integers(0, graph.num_nodes)) for _ in range(k)
-        ]
-        ports = random_ports(graph, rng)
+        agents, ports = random_instance(graph, k, seed)
         samples.append(rotor_cover_time_general(graph, agents, ports))
     return summarize(samples).mean
 
@@ -74,7 +104,16 @@ def run_speedup_graphs(
     seeds: Sequence[int] = (0, 1, 2),
     scale: int = 1,
     families: dict[str, GraphFactory] | None = None,
+    backend: str = "batch",
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    quick: bool = False,
 ) -> Report:
+    if quick:
+        ks, seeds = (2, 4), (0, 1)
+        if families is None:
+            families = quick_families()
+    plan = MeasurementPlan(backend=backend, jobs=jobs, cache_dir=cache_dir)
     report = Report(
         title="Multi-agent rotor-router speed-up on general graphs "
         "(Yanovski et al. [27] experiment)",
@@ -93,11 +132,32 @@ def run_speedup_graphs(
         f"mean over {len(seeds)} random initializations",
         formats=[None, "d", "d"] + [".2f"] * len(ks) + [None, ".2f"],
     )
+    # Schedule the whole (family x k x seed) grid, k = 1 included (the
+    # speed-up baseline), before a single batched execution.
+    all_ks = [1, *[k for k in ks if k != 1]]
+    scheduled = []
     for name, factory in families.items():
         graph = factory()
+        handles = {
+            k: [
+                plan.rotor_cover_general(
+                    graph, *random_instance(graph, k, seed)
+                )
+                for seed in seeds
+            ]
+            for k in all_ks
+        }
+        scheduled.append((name, graph, handles))
+    report.stats = plan.execute()
 
-        def cover(_n: int, k: int, graph=graph) -> float:
-            return mean_cover_over_seeds(graph, k, seeds)
+    for name, graph, handles in scheduled:
+        means = {
+            k: summarize([h.value for h in per_seed]).mean
+            for k, per_seed in handles.items()
+        }
+
+        def cover(_n: int, k: int, means=means) -> float:
+            return means[k]
 
         speedup_table = measure_speedup(cover, graph.num_nodes, list(ks))
         shape_name, flatness_value = best_matching_shape(

@@ -14,12 +14,16 @@ its limit cycle".  This extension measures that stabilization time
 * the limit-cycle period itself is always a small multiple of n/k
   (each agent's patrol loop), which is what makes Theorem 6's bound
   tight at 2n/k.
+
+The (n x initialization) grid runs through the batched limit-cycle
+pipeline of one :class:`repro.analysis.backend.MeasurementPlan`.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.analysis.backend import MeasurementPlan
 from repro.analysis.return_time import ring_rotor_return_time_exact
 from repro.core import placement, pointers
 from repro.experiments.harness import Report
@@ -27,10 +31,10 @@ from repro.util.rng import derive_seed
 from repro.util.tables import Table
 
 
-def stabilization_battery(
+def battery_instances(
     n: int, k: int, seeds: Sequence[int]
-) -> dict[str, tuple[int, int]]:
-    """(preperiod, period) per initialization."""
+) -> dict[str, tuple[list[int], list[int]]]:
+    """Named ``(agents, directions)`` initializations of the battery."""
     one = placement.all_on_one(k)
     spaced = placement.equally_spaced(n, k)
     cases = {
@@ -43,8 +47,15 @@ def stabilization_battery(
             placement.random_nodes(n, k, seed=derive_seed(seed, "stab-p", n, k)),
             pointers.ring_random(n, seed=derive_seed(seed, "stab-d", n, k)),
         )
+    return cases
+
+
+def stabilization_battery(
+    n: int, k: int, seeds: Sequence[int]
+) -> dict[str, tuple[int, int]]:
+    """(preperiod, period) per initialization (serial reference)."""
     results = {}
-    for name, (agents, directions) in cases.items():
+    for name, (agents, directions) in battery_instances(n, k, seeds).items():
         measured = ring_rotor_return_time_exact(n, agents, directions)
         results[name] = (int(measured.preperiod), int(measured.period))
     return results
@@ -54,7 +65,14 @@ def run_stabilization(
     ns: Sequence[int] = (64, 128, 256),
     k: int = 4,
     seeds: Sequence[int] = (0, 1),
+    backend: str = "batch",
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    quick: bool = False,
 ) -> Report:
+    if quick:
+        ns, seeds = (32, 64), (0,)
+    plan = MeasurementPlan(backend=backend, jobs=jobs, cache_dir=cache_dir)
     report = Report(
         title="Stabilization time of the k-agent rotor-router (extension)",
         claim=(
@@ -63,6 +81,20 @@ def run_stabilization(
             "always a small multiple of n/k"
         ),
     )
+    scheduled = [
+        (
+            n,
+            [
+                (name, plan.rotor_return_exact(n, agents, directions))
+                for name, (agents, directions) in battery_instances(
+                    n, k, seeds
+                ).items()
+            ],
+        )
+        for n in ns
+    ]
+    report.stats = plan.execute()
+
     table = Table(
         columns=["n", "init", "preperiod", "preperiod/n^2", "period",
                  "period/(n/k)"],
@@ -70,10 +102,10 @@ def run_stabilization(
         formats=["d", None, "d", ".4f", "d", ".2f"],
     )
     worst_ratio = 0.0
-    for n in ns:
-        for name, (preperiod, period) in stabilization_battery(
-            n, k, seeds
-        ).items():
+    for n, cells in scheduled:
+        for name, handle in cells:
+            preperiod = int(handle.value.preperiod)
+            period = int(handle.value.period)
             ratio = preperiod / (n * n)
             worst_ratio = max(worst_ratio, ratio)
             table.add_row(

@@ -12,21 +12,28 @@ column across k confirms the Θ-shape.  Orderings to check: the worst
 placement is log-k-slow for both models; the rotor-router's best
 placement beats the random walks' by the log²k factor; return times
 match at n/k.
+
+The grids are built declaratively against a
+:class:`repro.analysis.backend.MeasurementPlan`: each ``plan_*``
+function schedules every cell of one table and returns a closure that
+scatters the measured values into the rendered rows once the plan has
+executed, so one batched execution serves all tables of the report.
+The per-cell values are bit-identical to the historical serial loops
+(``backend="reference"`` runs exactly those loops).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
+from repro.analysis.backend import MeasurementPlan
 from repro.analysis.cover_time import (
     ring_rotor_cover_time,
     ring_walk_cover_estimate,
 )
-from repro.analysis.return_time import ring_rotor_return_time_exact
 from repro.core import placement, pointers
 from repro.experiments.harness import Report
-from repro.randomwalk.visits import ring_walk_gap_statistics
 from repro.theory import bounds
 from repro.util.rng import derive_seed
 from repro.util.tables import Table
@@ -82,56 +89,85 @@ def walk_best_cover(n: int, k: int, repetitions: int, seed: int = 0) -> float:
     return estimate.mean
 
 
-def run_cover_table(
+def plan_cover_table(
+    plan: MeasurementPlan,
     n: int,
     ks: Sequence[int],
     repetitions: int = 10,
     seed: int = 0,
-) -> Table:
-    """The four cover-time columns of Table 1 for fixed n, swept over k."""
-    table = Table(
-        columns=[
-            "k",
-            "RR worst",
-            "/ (n^2/log k)",
-            "RR best",
-            "/ (n^2/k^2)",
-            "RW worst",
-            "/ (n^2/log k)",
-            "RW best",
-            "/ ((n/k)^2 log^2 k)",
-        ],
-        caption=f"Table 1 cover times on the n={n} ring",
-        formats=[
-            "d", ".0f", ".3f", ".0f", ".3f", ".0f", ".3f", ".0f", ".3f",
-        ],
-    )
+) -> Callable[[], Table]:
+    """Schedule the four cover-time columns; returns the table builder.
+
+    The scheduled cells are exactly those of the serial helpers above:
+    same placements, same pointer arrays, same walk seed derivations.
+    """
+    toward0 = pointers.ring_toward_node(n, 0)
+    rows = []
     for k in ks:
-        rr_worst = rotor_worst_cover(n, k)
-        rr_best = rotor_best_cover(n, k)
-        rw_worst = walk_worst_cover(n, k, repetitions, seed)
-        rw_best = walk_best_cover(n, k, repetitions, seed)
-        table.add_row(
-            k,
-            rr_worst,
-            rr_worst / bounds.rotor_cover_worst(n, k),
-            rr_best,
-            rr_best / bounds.rotor_cover_best(n, k),
-            rw_worst,
-            rw_worst / bounds.walk_cover_worst(n, k),
-            rw_best,
-            rw_best / bounds.walk_cover_best(n, k),
+        spaced = placement.equally_spaced(n, k)
+        rows.append(
+            (
+                k,
+                plan.rotor_cover(n, placement.all_on_one(k), toward0),
+                plan.rotor_cover(n, spaced, pointers.ring_negative(n, spaced)),
+                plan.walk_cover(
+                    n,
+                    placement.all_on_one(k),
+                    repetitions,
+                    base_seed=derive_seed(seed, "t1-walk-worst", n, k),
+                ),
+                plan.walk_cover(
+                    n,
+                    spaced,
+                    repetitions,
+                    base_seed=derive_seed(seed, "t1-walk-best", n, k),
+                ),
+            )
         )
-    return table
+
+    def build() -> Table:
+        table = Table(
+            columns=[
+                "k",
+                "RR worst",
+                "/ (n^2/log k)",
+                "RR best",
+                "/ (n^2/k^2)",
+                "RW worst",
+                "/ (n^2/log k)",
+                "RW best",
+                "/ ((n/k)^2 log^2 k)",
+            ],
+            caption=f"Table 1 cover times on the n={n} ring",
+            formats=[
+                "d", ".0f", ".3f", ".0f", ".3f", ".0f", ".3f", ".0f", ".3f",
+            ],
+        )
+        for k, rr_worst, rr_best, rw_worst, rw_best in rows:
+            table.add_row(
+                k,
+                rr_worst.value,
+                rr_worst.value / bounds.rotor_cover_worst(n, k),
+                rr_best.value,
+                rr_best.value / bounds.rotor_cover_best(n, k),
+                rw_worst.value.mean,
+                rw_worst.value.mean / bounds.walk_cover_worst(n, k),
+                rw_best.value.mean,
+                rw_best.value.mean / bounds.walk_cover_best(n, k),
+            )
+        return table
+
+    return build
 
 
-def run_return_time_table(
+def plan_return_time_table(
+    plan: MeasurementPlan,
     n: int,
     ks: Sequence[int],
     walk_window_factor: int = 400,
     seed: int = 0,
-) -> Table:
-    """The return-time column: rotor (exact, worst init) vs walks (mean).
+) -> Callable[[], Table]:
+    """Schedule the return-time column; returns the table builder.
 
     The rotor-router value is the exact limit-cycle worst gap starting
     from the *worst* initialization (all-on-one, pointers toward it);
@@ -140,39 +176,79 @@ def run_return_time_table(
     maximum, illustrating the paper's point that the walk gives no
     deterministic ceiling.
     """
-    table = Table(
-        columns=[
-            "k",
-            "RR worst gap",
-            "RR gap*k/n",
-            "RW mean gap",
-            "RW mean*k/n",
-            "RW max gap",
-        ],
-        caption=f"Table 1 return times on the n={n} ring",
-        formats=["d", ".0f", ".2f", ".2f", ".2f", ".0f"],
-    )
-    for k in ks:
-        rotor = ring_rotor_return_time_exact(
-            n, placement.all_on_one(k), pointers.ring_toward_node(n, 0)
-        )
-        walk_stats = ring_walk_gap_statistics(
-            n,
+    toward0 = pointers.ring_toward_node(n, 0)
+    rows = [
+        (
             k,
-            node=0,
-            observation_rounds=walk_window_factor * n,
-            burn_in=4 * n,
-            seed=derive_seed(seed, "t1-return", n, k),
+            plan.rotor_return_exact(n, placement.all_on_one(k), toward0),
+            plan.walk_gaps(
+                n,
+                k,
+                node=0,
+                observation_rounds=walk_window_factor * n,
+                burn_in=4 * n,
+                seed=derive_seed(seed, "t1-return", n, k),
+            ),
         )
-        table.add_row(
-            k,
-            rotor.worst_gap,
-            rotor.normalized,
-            walk_stats.mean,
-            walk_stats.mean * k / n,
-            walk_stats.maximum,
+        for k in ks
+    ]
+
+    def build() -> Table:
+        table = Table(
+            columns=[
+                "k",
+                "RR worst gap",
+                "RR gap*k/n",
+                "RW mean gap",
+                "RW mean*k/n",
+                "RW max gap",
+            ],
+            caption=f"Table 1 return times on the n={n} ring",
+            formats=["d", ".0f", ".2f", ".2f", ".2f", ".0f"],
         )
-    return table
+        for k, rotor, walk in rows:
+            walk_stats = walk.value
+            table.add_row(
+                k,
+                rotor.value.worst_gap,
+                rotor.value.normalized,
+                walk_stats.mean,
+                walk_stats.mean * k / n,
+                walk_stats.maximum,
+            )
+        return table
+
+    return build
+
+
+def run_cover_table(
+    n: int,
+    ks: Sequence[int],
+    repetitions: int = 10,
+    seed: int = 0,
+    plan: MeasurementPlan | None = None,
+) -> Table:
+    """The four cover-time columns of Table 1 for fixed n, swept over k."""
+    if plan is None:
+        plan = MeasurementPlan()
+    build = plan_cover_table(plan, n, ks, repetitions, seed)
+    plan.execute()
+    return build()
+
+
+def run_return_time_table(
+    n: int,
+    ks: Sequence[int],
+    walk_window_factor: int = 400,
+    seed: int = 0,
+    plan: MeasurementPlan | None = None,
+) -> Table:
+    """The return-time column: rotor (exact, worst init) vs walks (mean)."""
+    if plan is None:
+        plan = MeasurementPlan()
+    build = plan_return_time_table(plan, n, ks, walk_window_factor, seed)
+    plan.execute()
+    return build()
 
 
 def run_table1(
@@ -181,8 +257,15 @@ def run_table1(
     repetitions: int = 10,
     return_n: int | None = None,
     seed: int = 0,
+    backend: str = "batch",
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    quick: bool = False,
 ) -> Report:
-    """Full Table 1 reproduction."""
+    """Full Table 1 reproduction (one measurement plan for the report)."""
+    if quick:
+        n, ks, repetitions, return_n = 128, (2, 4, 8), 3, 64
+    plan = MeasurementPlan(backend=backend, jobs=jobs, cache_dir=cache_dir)
     report = Report(
         title="Table 1: multi-agent rotor-router vs k random walks on the ring",
         claim=(
@@ -190,10 +273,13 @@ def run_table1(
             "rotor vs Θ((n/k)²log²k) walks; return time Θ(n/k) both"
         ),
     )
-    report.add_table(run_cover_table(n, ks, repetitions, seed))
-    report.add_table(
-        run_return_time_table(return_n if return_n else min(n, 256), ks, seed=seed)
+    build_cover = plan_cover_table(plan, n, ks, repetitions, seed)
+    build_return = plan_return_time_table(
+        plan, return_n if return_n else min(n, 256), ks, seed=seed
     )
+    report.stats = plan.execute()
+    report.add_table(build_cover())
+    report.add_table(build_return())
     report.add_note(
         "normalized columns ('/ shape') should be flat in k; absolute "
         "constants are not specified by the Θ-bounds"

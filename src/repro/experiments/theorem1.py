@@ -9,13 +9,22 @@ Two reproductions:
 2. **The proof's deployment** — run the Phase A/B1/B2 construction of
    :mod:`repro.experiments.deployments` and verify the Lemma 3 sandwich
    ``tau <= C(R[k]) <= T`` on the actual undelayed system.
+
+The k- and n-sweeps schedule their cover cells declaratively on one
+:class:`repro.analysis.backend.MeasurementPlan` (the batched kernels
+step all lanes together); the deployment sandwich replays the proof's
+delayed construction, which is a trace study rather than a grid, and
+stays serial.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import math
+from typing import Callable, Sequence
 
+from repro.analysis.backend import MeasurementPlan
 from repro.analysis.scaling import fit_power_law
+from repro.core import placement, pointers
 from repro.experiments.deployments import (
     run_theorem1_deployment,
     undelayed_path_cover_time,
@@ -25,42 +34,89 @@ from repro.experiments.table1 import rotor_worst_cover
 from repro.theory import bounds
 from repro.util.tables import Table
 
+__all__ = [
+    "run_k_sweep",
+    "run_n_sweep",
+    "run_deployment_sandwich",
+    "run_theorem1",
+    "rotor_worst_cover",
+]
+
+
+def _worst_cover_handle(plan: MeasurementPlan, n: int, k: int):
+    """Schedule the Theorem 1 worst-case cell (all-on-one, toward 0)."""
+    return plan.rotor_cover(
+        n, placement.all_on_one(k), pointers.ring_toward_node(n, 0)
+    )
+
+
+def plan_k_sweep(
+    plan: MeasurementPlan, n: int, ks: Sequence[int]
+) -> Callable[[], Table]:
+    """Fixed n, sweep k: check C * log k / n² flat."""
+    baseline = _worst_cover_handle(plan, n, 1)
+    handles = [(k, _worst_cover_handle(plan, n, k)) for k in ks]
+
+    def build() -> Table:
+        table = Table(
+            columns=[
+                "k", "cover C", "C/n^2", "C*log k/n^2", "speedup C(1)/C(k)",
+            ],
+            caption=f"Theorem 1 k-sweep on the n={n} ring (all-on-one start)",
+            formats=["d", "d", ".4f", ".4f", ".2f"],
+        )
+        for k, handle in handles:
+            cover = handle.value
+            table.add_row(
+                k,
+                cover,
+                cover / (n * n),
+                cover / bounds.rotor_cover_worst(n, k),
+                baseline.value / cover,
+            )
+        return table
+
+    return build
+
+
+def plan_n_sweep(
+    plan: MeasurementPlan, ns: Sequence[int], k: int
+) -> Callable[[], Table]:
+    """Fixed k, sweep n: the exponent of C vs n should be ~2."""
+    handles = [(n, _worst_cover_handle(plan, n, k)) for n in ns]
+
+    def build() -> Table:
+        table = Table(
+            columns=["n", "cover C", "C*log k/n^2"],
+            caption=f"Theorem 1 n-sweep with k={k} agents (all-on-one start)",
+            formats=["d", "d", ".4f"],
+        )
+        covers = []
+        for n, handle in handles:
+            cover = handle.value
+            covers.append(cover)
+            table.add_row(n, cover, cover / bounds.rotor_cover_worst(n, k))
+        fit = fit_power_law(list(ns), covers)
+        table.caption += f" | fitted exponent n^{fit.exponent:.3f}"
+        return table
+
+    return build
+
 
 def run_k_sweep(n: int, ks: Sequence[int]) -> Table:
-    """Fixed n, sweep k: check C * log k / n² flat."""
-    table = Table(
-        columns=["k", "cover C", "C/n^2", "C*log k/n^2", "speedup C(1)/C(k)"],
-        caption=f"Theorem 1 k-sweep on the n={n} ring (all-on-one start)",
-        formats=["d", "d", ".4f", ".4f", ".2f"],
-    )
-    baseline = rotor_worst_cover(n, 1)
-    for k in ks:
-        cover = rotor_worst_cover(n, k)
-        table.add_row(
-            k,
-            cover,
-            cover / (n * n),
-            cover / bounds.rotor_cover_worst(n, k),
-            baseline / cover,
-        )
-    return table
+    """Standalone k-sweep (schedules, executes and builds in one go)."""
+    plan = MeasurementPlan()
+    build = plan_k_sweep(plan, n, ks)
+    plan.execute()
+    return build()
 
 
 def run_n_sweep(ns: Sequence[int], k: int) -> Table:
-    """Fixed k, sweep n: the exponent of C vs n should be ~2."""
-    table = Table(
-        columns=["n", "cover C", "C*log k/n^2"],
-        caption=f"Theorem 1 n-sweep with k={k} agents (all-on-one start)",
-        formats=["d", "d", ".4f"],
-    )
-    covers = []
-    for n in ns:
-        cover = rotor_worst_cover(n, k)
-        covers.append(cover)
-        table.add_row(n, cover, cover / bounds.rotor_cover_worst(n, k))
-    fit = fit_power_law(list(ns), covers)
-    table.caption += f" | fitted exponent n^{fit.exponent:.3f}"
-    return table
+    """Standalone n-sweep (schedules, executes and builds in one go)."""
+    plan = MeasurementPlan()
+    build = plan_n_sweep(plan, ns, k)
+    plan.execute()
+    return build()
 
 
 def run_deployment_sandwich(cases: Sequence[tuple[int, int]]) -> Table:
@@ -74,8 +130,6 @@ def run_deployment_sandwich(cases: Sequence[tuple[int, int]]) -> Table:
         "with the Lemma 3 sandwich",
         formats=["d", "d", "d", "d", "d", None, ".3f"],
     )
-    import math
-
     for n, k in cases:
         trace = run_theorem1_deployment(n, k)
         tau, total = trace.slow_down_bounds()
@@ -98,7 +152,16 @@ def run_theorem1(
     ns: Sequence[int] = (128, 256, 512, 1024),
     sweep_k: int = 8,
     deployment_cases: Sequence[tuple[int, int]] = ((300, 6), (500, 8)),
+    backend: str = "batch",
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    quick: bool = False,
 ) -> Report:
+    if quick:
+        n, ks = 256, (2, 4, 8, 16)
+        ns, sweep_k = (64, 128, 256), 4
+        deployment_cases = ((120, 4),)
+    plan = MeasurementPlan(backend=backend, jobs=jobs, cache_dir=cache_dir)
     report = Report(
         title="Theorem 1: worst-case placement cover time Θ(n²/log k)",
         claim=(
@@ -106,8 +169,11 @@ def run_theorem1(
             "Θ(n²/log k) for k < n^(1/11)"
         ),
     )
-    report.add_table(run_k_sweep(n, ks))
-    report.add_table(run_n_sweep(ns, sweep_k))
+    build_ks = plan_k_sweep(plan, n, ks)
+    build_ns = plan_n_sweep(plan, ns, sweep_k)
+    report.stats = plan.execute()
+    report.add_table(build_ks())
+    report.add_table(build_ns())
     report.add_table(run_deployment_sandwich(deployment_cases))
     return report
 

@@ -5,75 +5,100 @@ constants.  We stress this empirically: over a battery of adversarial
 and random initializations (placements x pointer arrangements), the
 measured cover time never exceeds the all-on-one cover time by more
 than a small constant factor.
+
+The battery is declared as named ``(agents, directions)`` instances
+and scheduled on one :class:`repro.analysis.backend.MeasurementPlan`;
+the serial :func:`initialization_battery` remains as the reference
+shape of the same grid.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.analysis.backend import MeasurementPlan
 from repro.analysis.cover_time import ring_rotor_cover_time
 from repro.core import placement, pointers
 from repro.experiments.harness import Report
-from repro.experiments.table1 import rotor_worst_cover
 from repro.util.rng import derive_seed
 from repro.util.tables import Table
+
+
+def battery_instances(
+    n: int, k: int, seeds: Sequence[int]
+) -> dict[str, tuple[list[int], list[int]]]:
+    """Named ``(agents, directions)`` instances of the battery.
+
+    Includes the structured adversarial cases and, per seed, random
+    placements combined with random pointer arrangements — the exact
+    instances the serial battery has always measured.
+    """
+    one = placement.all_on_one(k)
+    spaced = placement.equally_spaced(n, k)
+    half = placement.half_ring(n, k)
+    instances: dict[str, tuple[list[int], list[int]]] = {
+        "all-on-one/toward": (one, pointers.ring_toward_node(n, 0)),
+        "all-on-one/uniform": (one, pointers.ring_uniform(n)),
+        "all-on-one/alternating": (one, pointers.ring_alternating(n)),
+        "spaced/negative": (spaced, pointers.ring_negative(n, spaced)),
+        "spaced/positive": (spaced, pointers.ring_positive(n, spaced)),
+        "half-ring/negative": (half, pointers.ring_negative(n, half)),
+    }
+    for seed in seeds:
+        instances[f"random/seed{seed}"] = (
+            placement.random_nodes(
+                n, k, seed=derive_seed(seed, "t2-place", n, k)
+            ),
+            pointers.ring_random(n, seed=derive_seed(seed, "t2-ptr", n, k)),
+        )
+    return instances
 
 
 def initialization_battery(
     n: int, k: int, seeds: Sequence[int]
 ) -> dict[str, int]:
-    """Cover times over a battery of initializations.
-
-    Includes the structured adversarial cases and, per seed, random
-    placements combined with random pointer arrangements.
-    """
-    results: dict[str, int] = {}
-    one = placement.all_on_one(k)
-    spaced = placement.equally_spaced(n, k)
-    half = placement.half_ring(n, k)
-
-    results["all-on-one/toward"] = ring_rotor_cover_time(
-        n, one, pointers.ring_toward_node(n, 0)
-    )
-    results["all-on-one/uniform"] = ring_rotor_cover_time(
-        n, one, pointers.ring_uniform(n)
-    )
-    results["all-on-one/alternating"] = ring_rotor_cover_time(
-        n, one, pointers.ring_alternating(n)
-    )
-    results["spaced/negative"] = ring_rotor_cover_time(
-        n, spaced, pointers.ring_negative(n, spaced)
-    )
-    results["spaced/positive"] = ring_rotor_cover_time(
-        n, spaced, pointers.ring_positive(n, spaced)
-    )
-    results["half-ring/negative"] = ring_rotor_cover_time(
-        n, half, pointers.ring_negative(n, half)
-    )
-    for seed in seeds:
-        agents = placement.random_nodes(
-            n, k, seed=derive_seed(seed, "t2-place", n, k)
-        )
-        directions = pointers.ring_random(
-            n, seed=derive_seed(seed, "t2-ptr", n, k)
-        )
-        results[f"random/seed{seed}"] = ring_rotor_cover_time(
-            n, agents, directions
-        )
-    return results
+    """Cover times over the battery (serial reference helper)."""
+    return {
+        name: ring_rotor_cover_time(n, agents, directions)
+        for name, (agents, directions) in battery_instances(
+            n, k, seeds
+        ).items()
+    }
 
 
 def run_theorem2(
     n: int = 512,
     ks: Sequence[int] = (4, 8, 16, 32),
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    backend: str = "batch",
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    quick: bool = False,
 ) -> Report:
+    if quick:
+        n, ks, seeds = 128, (4, 8), (0, 1)
+    plan = MeasurementPlan(backend=backend, jobs=jobs, cache_dir=cache_dir)
     report = Report(
         title="Theorem 2: any initialization covers in O(n²/log k)",
         claim=(
             "the all-on-one initialization is worst-case up to constants"
         ),
     )
+    # Schedule every battery cell of every k, plus the all-on-one
+    # reference cells, before a single execution.
+    toward0 = pointers.ring_toward_node(n, 0)
+    scheduled = []
+    for k in ks:
+        handles = {
+            name: plan.rotor_cover(n, agents, directions)
+            for name, (agents, directions) in battery_instances(
+                n, k, seeds
+            ).items()
+        }
+        reference = plan.rotor_cover(n, placement.all_on_one(k), toward0)
+        scheduled.append((k, handles, reference))
+    report.stats = plan.execute()
+
     table = Table(
         columns=[
             "k",
@@ -86,11 +111,11 @@ def run_theorem2(
         f"({len(seeds)} random + 6 structured cases per k)",
         formats=["d", "d", None, "d", ".3f"],
     )
-    for k in ks:
-        battery = initialization_battery(n, k, seeds)
+    for k, handles, reference_handle in scheduled:
+        battery = {name: handle.value for name, handle in handles.items()}
         name = max(battery, key=battery.get)
         worst = battery[name]
-        reference = rotor_worst_cover(n, k)
+        reference = reference_handle.value
         table.add_row(k, worst, name, reference, worst / reference)
     report.add_table(table)
     report.add_note(

@@ -6,12 +6,17 @@ into arcs of length <= n/k covers within O((n/k)²).  We sweep k for
 fixed n under several pointer arrangements — including the Theorem 4
 adversary (negative) and randomized ones — and verify the normalized
 column ``C · k² / n²`` stays flat and bounded.
+
+The (k x pointer-family x seed) grid is scheduled on one
+:class:`repro.analysis.backend.MeasurementPlan` and executed in a
+single batched pass.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.analysis.backend import MeasurementPlan
 from repro.analysis.cover_time import ring_rotor_cover_time
 from repro.core import placement, pointers
 from repro.experiments.harness import Report
@@ -55,11 +60,27 @@ def spaced_cover(
     return ring_rotor_cover_time(n, agents, factory(n, agents, seed))
 
 
+def _spaced_handle(
+    plan: MeasurementPlan, n: int, k: int, pointer_family: str, seed: int = 0
+):
+    """Schedule the cell :func:`spaced_cover` would measure."""
+    agents = placement.equally_spaced(n, k)
+    factory = POINTER_FAMILIES[pointer_family]
+    return plan.rotor_cover(n, agents, factory(n, agents, seed))
+
+
 def run_theorem3(
     n: int = 1024,
     ks: Sequence[int] = (2, 4, 8, 16, 32, 64),
     random_seeds: Sequence[int] = (0, 1, 2),
+    backend: str = "batch",
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    quick: bool = False,
 ) -> Report:
+    if quick:
+        n, ks, random_seeds = 256, (2, 4, 8, 16), (0,)
+    plan = MeasurementPlan(backend=backend, jobs=jobs, cache_dir=cache_dir)
     report = Report(
         title="Theorem 3: equally spaced placement covers in O(n²/k²)",
         claim=(
@@ -67,6 +88,21 @@ def run_theorem3(
             "O((n/k)²) regardless of the pointer arrangement"
         ),
     )
+    scheduled = [
+        (
+            k,
+            _spaced_handle(plan, n, k, "negative"),
+            _spaced_handle(plan, n, k, "positive"),
+            _spaced_handle(plan, n, k, "uniform"),
+            [
+                _spaced_handle(plan, n, k, "random", derive_seed(s, "t3", n, k))
+                for s in random_seeds
+            ],
+        )
+        for k in ks
+    ]
+    report.stats = plan.execute()
+
     table = Table(
         columns=[
             "k",
@@ -79,14 +115,11 @@ def run_theorem3(
         caption=f"Equally spaced agents on the n={n} ring",
         formats=["d", "d", "d", "d", "d", ".3f"],
     )
-    for k in ks:
-        negative = spaced_cover(n, k, "negative")
-        positive = spaced_cover(n, k, "positive")
-        uniform = spaced_cover(n, k, "uniform")
-        random_worst = max(
-            spaced_cover(n, k, "random", derive_seed(s, "t3", n, k))
-            for s in random_seeds
-        )
+    for k, h_negative, h_positive, h_uniform, h_randoms in scheduled:
+        negative = h_negative.value
+        positive = h_positive.value
+        uniform = h_uniform.value
+        random_worst = max(handle.value for handle in h_randoms)
         worst = max(negative, positive, uniform, random_worst)
         table.add_row(
             k,

@@ -8,6 +8,9 @@ Both directions of the theorem are exercised:
   times (n/k)² log² k — equivalently, k walks are slower than the
   k-agent rotor-router from the same placement by about log² k, the
   paper's punchline for the best-case comparison.
+
+Walk cells (repetition lanes) and rotor cells share one batched
+:class:`repro.analysis.backend.MeasurementPlan` execution.
 """
 
 from __future__ import annotations
@@ -15,10 +18,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.analysis.cover_time import (
-    ring_rotor_cover_time,
-    ring_walk_cover_estimate,
-)
+from repro.analysis.backend import MeasurementPlan
+from repro.analysis.cover_time import ring_walk_cover_estimate
 from repro.core import placement, pointers
 from repro.experiments.harness import Report
 from repro.theory import bounds
@@ -44,7 +45,14 @@ def run_theorem5(
     ks: Sequence[int] = (2, 4, 8, 16, 32),
     repetitions: int = 20,
     seed: int = 0,
+    backend: str = "batch",
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    quick: bool = False,
 ) -> Report:
+    if quick:
+        n, ks, repetitions = 256, (2, 4, 8), 5
+    plan = MeasurementPlan(backend=backend, jobs=jobs, cache_dir=cache_dir)
     report = Report(
         title="Theorem 5: equally spaced k random walks cover in "
         "Θ((n/k)² log² k)",
@@ -53,6 +61,23 @@ def run_theorem5(
             "time carries a log²k penalty over the rotor-router's (n/k)²"
         ),
     )
+    scheduled = []
+    for k in ks:
+        agents = placement.equally_spaced(n, k)
+        scheduled.append(
+            (
+                k,
+                plan.walk_cover(
+                    n,
+                    agents,
+                    repetitions,
+                    base_seed=derive_seed(seed, "t5", n, k),
+                ),
+                plan.rotor_cover(n, agents, pointers.ring_negative(n, agents)),
+            )
+        )
+    report.stats = plan.execute()
+
     table = Table(
         columns=[
             "k",
@@ -67,12 +92,10 @@ def run_theorem5(
         f"({repetitions} repetitions)",
         formats=["d", ".0f", None, ".3f", "d", ".2f", ".2f"],
     )
-    for k in ks:
-        mean, low, high = spaced_walk_cover(n, k, repetitions, seed)
-        agents = placement.equally_spaced(n, k)
-        rotor = ring_rotor_cover_time(
-            n, agents, pointers.ring_negative(n, agents)
-        )
+    for k, walk_handle, rotor_handle in scheduled:
+        estimate = walk_handle.value
+        mean, low, high = estimate.mean, estimate.ci_low, estimate.ci_high
+        rotor = rotor_handle.value
         table.add_row(
             k,
             mean,

@@ -10,12 +10,17 @@ an agent patrolling a domain of length n/k returns after ~2·n/k).
 
 The random-walk contrast (no deterministic ceiling; expected gap n/k
 with heavy tails) is reported by the Table 1 module.
+
+The initialization battery is declared once and its limit-cycle cells
+run through the batched pipeline of one
+:class:`repro.analysis.backend.MeasurementPlan`.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.analysis.backend import MeasurementPlan
 from repro.analysis.return_time import (
     RingReturnTime,
     ring_rotor_return_time_exact,
@@ -26,41 +31,51 @@ from repro.util.rng import derive_seed
 from repro.util.tables import Table
 
 
+def battery_instances(
+    n: int, k: int, seeds: Sequence[int]
+) -> dict[str, tuple[list[int], list[int]]]:
+    """Named ``(agents, directions)`` initializations of the battery."""
+    one = placement.all_on_one(k)
+    spaced = placement.equally_spaced(n, k)
+    instances = {
+        "all-on-one/toward": (one, pointers.ring_toward_node(n, 0)),
+        "spaced/negative": (spaced, pointers.ring_negative(n, spaced)),
+        "spaced/positive": (spaced, pointers.ring_positive(n, spaced)),
+    }
+    for seed in seeds:
+        instances[f"random/seed{seed}"] = (
+            placement.random_nodes(
+                n, k, seed=derive_seed(seed, "t6-place", n, k)
+            ),
+            pointers.ring_random(n, seed=derive_seed(seed, "t6-ptr", n, k)),
+        )
+    return instances
+
+
 def return_time_battery(
     n: int, k: int, seeds: Sequence[int]
 ) -> dict[str, RingReturnTime]:
-    """Exact return times over structured + random initializations."""
-    one = placement.all_on_one(k)
-    spaced = placement.equally_spaced(n, k)
-    results = {
-        "all-on-one/toward": ring_rotor_return_time_exact(
-            n, one, pointers.ring_toward_node(n, 0)
-        ),
-        "spaced/negative": ring_rotor_return_time_exact(
-            n, spaced, pointers.ring_negative(n, spaced)
-        ),
-        "spaced/positive": ring_rotor_return_time_exact(
-            n, spaced, pointers.ring_positive(n, spaced)
-        ),
+    """Exact return times over the battery (serial reference helper)."""
+    return {
+        name: ring_rotor_return_time_exact(n, agents, directions)
+        for name, (agents, directions) in battery_instances(
+            n, k, seeds
+        ).items()
     }
-    for seed in seeds:
-        agents = placement.random_nodes(
-            n, k, seed=derive_seed(seed, "t6-place", n, k)
-        )
-        directions = pointers.ring_random(
-            n, seed=derive_seed(seed, "t6-ptr", n, k)
-        )
-        results[f"random/seed{seed}"] = ring_rotor_return_time_exact(
-            n, agents, directions
-        )
-    return results
 
 
 def run_theorem6(
     n: int = 256,
     ks: Sequence[int] = (2, 4, 8, 16),
     seeds: Sequence[int] = (0, 1, 2),
+    backend: str = "batch",
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    quick: bool = False,
 ) -> Report:
+    if quick:
+        n, ks, seeds = 128, (2, 4, 8), (0, 1)
+    plan = MeasurementPlan(backend=backend, jobs=jobs, cache_dir=cache_dir)
     report = Report(
         title="Theorem 6: return time Θ(n/k) regardless of initialization",
         claim=(
@@ -68,6 +83,20 @@ def run_theorem6(
             "rounds, for k in O(n^(1/6))"
         ),
     )
+    scheduled = [
+        (
+            k,
+            [
+                (name, plan.rotor_return_exact(n, agents, directions))
+                for name, (agents, directions) in battery_instances(
+                    n, k, seeds
+                ).items()
+            ],
+        )
+        for k in ks
+    ]
+    report.stats = plan.execute()
+
     table = Table(
         columns=[
             "k",
@@ -81,8 +110,9 @@ def run_theorem6(
         formats=["d", None, "d", "d", ".0f", ".2f"],
     )
     normalized: list[float] = []
-    for k in ks:
-        for name, result in return_time_battery(n, k, seeds).items():
+    for k, cells in scheduled:
+        for name, handle in cells:
+            result = handle.value
             normalized.append(result.normalized)
             table.add_row(
                 k,

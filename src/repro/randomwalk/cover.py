@@ -8,7 +8,7 @@ seeds and reporting a summary with a confidence interval.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.util.rng import derive_seed
 from repro.util.stats import Summary, normal_ci, summarize
@@ -29,6 +29,27 @@ class CoverEstimate:
     @property
     def mean(self) -> float:
         return self.summary.mean
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[int], confidence: float = 0.95
+    ) -> "CoverEstimate":
+        """Build the estimate from raw per-repetition cover rounds.
+
+        The single definition of the summary/CI arithmetic: the
+        repetition harness below and the batched analysis backend
+        (which rebuilds estimates from cached samples) both construct
+        through here, so their floats can never drift apart.
+        """
+        values = [int(value) for value in samples]
+        summary = summarize(values)
+        if len(values) > 1:
+            low, high = normal_ci(values, confidence)
+        else:
+            low = high = float(values[0])
+        return cls(
+            summary=summary, ci_low=low, ci_high=high, samples=tuple(values)
+        )
 
 
 def estimate_cover_time(
@@ -51,14 +72,4 @@ def estimate_cover_time(
     for rep in range(repetitions):
         system = factory(derive_seed(base_seed, "cover", rep))
         samples.append(int(system.run_until_covered(max_rounds)))
-    summary = summarize(samples)
-    if len(samples) > 1:
-        low, high = normal_ci(samples, confidence)
-    else:
-        low = high = float(samples[0])
-    return CoverEstimate(
-        summary=summary,
-        ci_low=low,
-        ci_high=high,
-        samples=tuple(samples),
-    )
+    return CoverEstimate.from_samples(samples, confidence)

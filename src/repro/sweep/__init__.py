@@ -13,8 +13,13 @@ cached, parallel parameter sweeps:
   walk cells fan out over seeded repetitions into ``(R·B)`` lanes with
   exact per-lane cover detection, seed-for-seed equal to the reference
   :class:`repro.randomwalk.ring_walk.RingRandomWalks`;
+- :mod:`repro.sweep.cells` — explicit measurement cells (materialized
+  agents/pointers/seeds rather than named families) that give the
+  paper-reproduction experiments the same cached, batched execution
+  path via :mod:`repro.analysis.backend`;
 - :mod:`repro.sweep.executor` — multiprocessing execution with an
-  on-disk JSON result cache;
+  on-disk JSON result cache (``run_sweep`` for scenario grids,
+  ``run_cells`` for explicit cell lists);
 - :mod:`repro.sweep.aggregate` — joins rotor and walk cells of one
   sweep into speed-up tables ``S(k) = C(n,1)/C(n,k)`` and
   rotor-vs-walk ratio tables;
@@ -41,10 +46,18 @@ from repro.sweep.batch_walk import (
     WalkLane,
     walk_lanes_from_cells,
 )
+from repro.sweep.cells import (
+    GeneralRotorCell,
+    RotorCell,
+    WalkCoverCell,
+    WalkGapsCell,
+    cell_from_dict,
+)
 from repro.sweep.executor import (
     ConfigResult,
     ResultCache,
     SweepResult,
+    run_cells,
     run_sweep,
 )
 from repro.sweep.registry import scenario, scenario_names
@@ -61,8 +74,14 @@ __all__ = [
     "lanes_from_configs",
     "walk_lanes_from_cells",
     "ConfigResult",
+    "GeneralRotorCell",
     "ResultCache",
+    "RotorCell",
     "SweepResult",
+    "WalkCoverCell",
+    "WalkGapsCell",
+    "cell_from_dict",
+    "run_cells",
     "run_sweep",
     "model_ratio_table",
     "speedup_curves",

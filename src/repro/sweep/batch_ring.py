@@ -545,6 +545,7 @@ class _LaneBlock:
     __slots__ = (
         "ptr", "cnt", "ptr_words", "cnt_words",
         "_ptr_buf", "_cnt_buf", "_nxt_buf", "_fwd", "_bwd", "_nxt",
+        "_cnt_views",
     )
 
     def __init__(self, ptr: np.ndarray, cnt: np.ndarray) -> None:
@@ -557,14 +558,27 @@ class _LaneBlock:
         self._cnt_buf[:, :n] = cnt
         self._fwd = np.empty((rows, n), dtype=cnt.dtype)
         self._bwd = np.empty((rows, n), dtype=cnt.dtype)
-        self._refresh_views(n)
-
-    def _refresh_views(self, n: int) -> None:
+        # The pointer buffer never changes roles, so its views are
+        # permanent; the count/next buffers alternate between exactly
+        # two role assignments (a buffer swap per committed round), so
+        # both view triples are built once and selected by buffer
+        # identity — per-round commits then re-slice nothing.
         self.ptr = self._ptr_buf[:, :n]
-        self.cnt = self._cnt_buf[:, :n]
-        self._nxt = self._nxt_buf[:, :n]
         self.ptr_words = self._ptr_buf.view(np.uint64)
-        self.cnt_words = self._cnt_buf.view(np.uint64)
+        self._cnt_views: dict[int, tuple] = {}
+        self._select_views(n)
+
+    def _select_views(self, n: int) -> None:
+        key = id(self._cnt_buf)
+        cached = self._cnt_views.get(key)
+        if cached is None:
+            cached = (
+                self._cnt_buf[:, :n],
+                self._nxt_buf[:, :n],
+                self._cnt_buf.view(np.uint64),
+            )
+            self._cnt_views[key] = cached
+        self.cnt, self._nxt, self.cnt_words = cached
 
     @property
     def rows(self) -> int:
@@ -586,7 +600,7 @@ class _LaneBlock:
 
     def _commit_swap(self) -> None:
         self._cnt_buf, self._nxt_buf = self._nxt_buf, self._cnt_buf
-        self._refresh_views(self.cnt.shape[1])
+        self._select_views(self.cnt.shape[1])
 
     def step_all(self) -> None:
         """One round on every row — commits by buffer swap (no copy)."""

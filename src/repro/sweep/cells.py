@@ -1,0 +1,364 @@
+"""Explicit measurement cells: experiment requests as sweep work units.
+
+The grid language of :mod:`repro.sweep.spec` names its cells by
+*family* (``equally_spaced/negative``); the paper-reproduction
+experiments instead materialize concrete instances — explicit agent
+lists, explicit pointer arrays, explicit repetition seeds — because
+their seed derivations predate the sweep subsystem and must stay
+bit-identical across backends.  This module gives those explicit
+requests first-class sweep citizenship: each cell type carries the
+fully materialized instance, hashes it into a deterministic
+``config_hash`` (so the executor's on-disk cache works for experiment
+cells exactly as it does for scenario cells), and exposes the same
+duck-typed surface the executor's chunk planner and kernels consume
+(``model``/``n``/``k``/``metrics``/``max_rounds``/``repetitions`` plus
+``build``/``build_agents``/``rep_seeds``).
+
+Four cell kinds cover every measurement the experiments make:
+
+* :class:`RotorCell` — deterministic rotor-router lanes on the ring
+  (cover and/or limit-cycle stabilization + return gaps);
+* :class:`WalkCoverCell` — one stochastic cover measurement fanned over
+  explicit per-repetition seeds (seed-for-seed equal to the serial
+  :func:`repro.randomwalk.cover.estimate_cover_time` harness);
+* :class:`WalkGapsCell` — visit-gap statistics of k walkers at one
+  node (the Table 1 return-time contrast column);
+* :class:`GeneralRotorCell` — rotor-router cover on an arbitrary
+  port-labeled graph (the Yanovski speed-up extension); lanes cannot
+  share vectorized rounds, but cells still chunk, parallelize and
+  cache through the executor.
+
+``cell_from_dict`` is the executor's deserializer: worker processes
+receive plain dicts and dispatch on the ``kind`` marker (absent for
+classic :class:`repro.sweep.spec.SweepConfig` cells).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+#: Bump when any explicit cell's identity layout or measurement
+#: semantics change, so stale cache entries are never served.
+CELL_SCHEMA_VERSION = 1
+
+
+def _hash_identity(identity: dict) -> str:
+    text = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RotorCell:
+    """One explicit rotor-router instance on the ring.
+
+    ``metrics`` chooses the measurement: ``("cover",)`` for the cover
+    round, ``("stabilization", "return")`` for Brent's limit cycle plus
+    in-cycle visit gaps (the executor computes both from one pipeline
+    pass).  The identity is the full instance, so two experiments
+    requesting the same (n, agents, directions, metrics, budget) share
+    one cache entry regardless of how they derived it.
+    """
+
+    n: int
+    agents: tuple[int, ...]
+    directions: tuple[int, ...]
+    metrics: tuple[str, ...]
+    max_rounds: int
+
+    model = "rotor"
+    repetitions = 1
+
+    def __post_init__(self) -> None:
+        if not self.agents:
+            raise ValueError("at least one agent is required")
+        if len(self.directions) != self.n:
+            raise ValueError(
+                f"expected {self.n} pointer directions, "
+                f"got {len(self.directions)}"
+            )
+        if not self.metrics:
+            raise ValueError("at least one metric is required")
+
+    @property
+    def k(self) -> int:
+        return len(self.agents)
+
+    def identity(self) -> dict:
+        return {
+            "kind": "rotor-cell",
+            "schema": CELL_SCHEMA_VERSION,
+            "n": self.n,
+            "agents": list(self.agents),
+            "directions": list(self.directions),
+            "metrics": list(self.metrics),
+            "max_rounds": self.max_rounds,
+        }
+
+    @property
+    def config_hash(self) -> str:
+        return _hash_identity(self.identity())
+
+    def build(self) -> tuple[list[int], list[int]]:
+        """``(agents, directions)`` — mirrors ``SweepConfig.build``."""
+        return list(self.agents), list(self.directions)
+
+    def to_dict(self) -> dict:
+        return self.identity()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RotorCell":
+        _check_schema(data, "rotor-cell")
+        return cls(
+            n=int(data["n"]),
+            agents=tuple(int(a) for a in data["agents"]),
+            directions=tuple(int(d) for d in data["directions"]),
+            metrics=tuple(data["metrics"]),
+            max_rounds=int(data["max_rounds"]),
+        )
+
+
+@dataclass(frozen=True)
+class WalkCoverCell:
+    """One stochastic cover measurement over explicit repetition seeds.
+
+    Each seed is consumed exactly as a standalone
+    :class:`repro.randomwalk.ring_walk.RingRandomWalks` run would
+    consume it, so the batch kernel's per-repetition cover rounds are
+    seed-for-seed those of the serial repetition harness.  Metrics
+    always include the raw per-repetition samples (``cover_samples``),
+    letting callers rebuild the exact serial
+    :class:`repro.randomwalk.cover.CoverEstimate`.
+    """
+
+    n: int
+    agents: tuple[int, ...]
+    seeds: tuple[int, ...]
+    max_rounds: int
+
+    model = "walk"
+    metrics = ("cover",)
+    #: The walk chunk records per-repetition samples for these cells.
+    record_samples = True
+
+    def __post_init__(self) -> None:
+        if not self.agents:
+            raise ValueError("at least one walker is required")
+        if not self.seeds:
+            raise ValueError("at least one repetition seed is required")
+
+    @property
+    def k(self) -> int:
+        return len(self.agents)
+
+    @property
+    def repetitions(self) -> int:
+        return len(self.seeds)
+
+    def identity(self) -> dict:
+        return {
+            "kind": "walk-cover-cell",
+            "schema": CELL_SCHEMA_VERSION,
+            "n": self.n,
+            "agents": list(self.agents),
+            "seeds": list(self.seeds),
+            "max_rounds": self.max_rounds,
+        }
+
+    @property
+    def config_hash(self) -> str:
+        return _hash_identity(self.identity())
+
+    def build_agents(self) -> list[int]:
+        return list(self.agents)
+
+    def rep_seeds(self) -> tuple[int, ...]:
+        return self.seeds
+
+    def to_dict(self) -> dict:
+        return self.identity()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WalkCoverCell":
+        _check_schema(data, "walk-cover-cell")
+        return cls(
+            n=int(data["n"]),
+            agents=tuple(int(a) for a in data["agents"]),
+            seeds=tuple(int(s) for s in data["seeds"]),
+            max_rounds=int(data["max_rounds"]),
+        )
+
+
+@dataclass(frozen=True)
+class WalkGapsCell:
+    """Visit-gap statistics of k equally spaced walkers at one node.
+
+    Wraps :func:`repro.randomwalk.visits.ring_walk_gap_statistics`:
+    the cell stores that function's raw arguments, so both backends
+    invoke the identical measurement and the gain comes from chunked
+    parallelism, caching, and the vectorized visits kernel.
+    """
+
+    n: int
+    k: int
+    node: int
+    observation_rounds: int
+    burn_in: int
+    seed: int
+
+    model = "walk"
+    metrics = ("gaps",)
+    repetitions = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be at least 1, got {self.k}")
+        if not 0 <= self.node < self.n:
+            raise ValueError(f"node {self.node} out of range for n={self.n}")
+        if self.observation_rounds < 1:
+            raise ValueError("observation_rounds must be positive")
+        if self.burn_in < 0:
+            raise ValueError("burn_in must be non-negative")
+
+    @property
+    def max_rounds(self) -> int:
+        """Total simulated rounds; doubles as the chunk group key."""
+        return self.burn_in + self.observation_rounds
+
+    def identity(self) -> dict:
+        return {
+            "kind": "walk-gaps-cell",
+            "schema": CELL_SCHEMA_VERSION,
+            "n": self.n,
+            "k": self.k,
+            "node": self.node,
+            "observation_rounds": self.observation_rounds,
+            "burn_in": self.burn_in,
+            "seed": self.seed,
+        }
+
+    @property
+    def config_hash(self) -> str:
+        return _hash_identity(self.identity())
+
+    def to_dict(self) -> dict:
+        return self.identity()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WalkGapsCell":
+        _check_schema(data, "walk-gaps-cell")
+        return cls(
+            n=int(data["n"]),
+            k=int(data["k"]),
+            node=int(data["node"]),
+            observation_rounds=int(data["observation_rounds"]),
+            burn_in=int(data["burn_in"]),
+            seed=int(data["seed"]),
+        )
+
+
+@dataclass(frozen=True)
+class GeneralRotorCell:
+    """Rotor-router cover time on an arbitrary port-labeled graph.
+
+    The identity embeds the whole port structure (``ports[v]`` lists in
+    cyclic order), so topologically identical graphs built by different
+    factories still share cache entries.  These cells have no shared
+    vectorized rounds — each runs the reference
+    :class:`repro.core.engine.MultiAgentRotorRouter` — but the executor
+    still chunks them across worker processes and caches each result.
+    """
+
+    graph_ports: tuple[tuple[int, ...], ...]
+    agents: tuple[int, ...]
+    ports: tuple[int, ...]
+    max_rounds: int
+
+    model = "rotor-general"
+    metrics = ("cover",)
+    repetitions = 1
+
+    def __post_init__(self) -> None:
+        if not self.agents:
+            raise ValueError("at least one agent is required")
+        if len(self.ports) != len(self.graph_ports):
+            raise ValueError(
+                f"expected {len(self.graph_ports)} pointer ports, "
+                f"got {len(self.ports)}"
+            )
+
+    @property
+    def n(self) -> int:
+        return len(self.graph_ports)
+
+    @property
+    def k(self) -> int:
+        return len(self.agents)
+
+    def identity(self) -> dict:
+        return {
+            "kind": "general-rotor-cell",
+            "schema": CELL_SCHEMA_VERSION,
+            "graph_ports": [list(row) for row in self.graph_ports],
+            "agents": list(self.agents),
+            "ports": list(self.ports),
+            "max_rounds": self.max_rounds,
+        }
+
+    @property
+    def config_hash(self) -> str:
+        return _hash_identity(self.identity())
+
+    def to_dict(self) -> dict:
+        return self.identity()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GeneralRotorCell":
+        _check_schema(data, "general-rotor-cell")
+        return cls(
+            graph_ports=tuple(
+                tuple(int(u) for u in row) for row in data["graph_ports"]
+            ),
+            agents=tuple(int(a) for a in data["agents"]),
+            ports=tuple(int(p) for p in data["ports"]),
+            max_rounds=int(data["max_rounds"]),
+        )
+
+
+_KINDS = {
+    "rotor-cell": RotorCell,
+    "walk-cover-cell": WalkCoverCell,
+    "walk-gaps-cell": WalkGapsCell,
+    "general-rotor-cell": GeneralRotorCell,
+}
+
+
+def _check_schema(data: dict, kind: str) -> None:
+    if data.get("kind") != kind:
+        raise ValueError(f"expected a {kind!r} dict, got {data.get('kind')!r}")
+    if data.get("schema") != CELL_SCHEMA_VERSION:
+        raise ValueError(
+            f"cell schema {data.get('schema')!r} does not match "
+            f"{CELL_SCHEMA_VERSION}"
+        )
+
+
+def cell_from_dict(data: dict):
+    """Rebuild any sweep cell from its dict form.
+
+    Explicit cells carry a ``kind`` marker; dicts without one are
+    classic :class:`repro.sweep.spec.SweepConfig` cells.
+    """
+    kind = data.get("kind")
+    if kind is None:
+        from repro.sweep.spec import SweepConfig
+
+        return SweepConfig.from_dict(data)
+    try:
+        cls = _KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown cell kind {kind!r}; known: {sorted(_KINDS)}"
+        ) from None
+    return cls.from_dict(data)

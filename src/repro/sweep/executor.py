@@ -46,6 +46,7 @@ from repro.sweep.batch_ring import (
     lanes_from_configs,
 )
 from repro.sweep.batch_walk import BatchRingWalks, walk_lanes_from_cells
+from repro.sweep.cells import cell_from_dict
 from repro.sweep.spec import ScenarioSpec, SweepConfig
 from repro.util.stats import normal_ci, summarize
 from repro.util.tables import Table
@@ -59,6 +60,21 @@ DEFAULT_CHUNK_LANES = 64
 #: additionally split once their total walker count crosses this
 #: (4096 walkers ≈ 32 MiB per 1024-round block buffer).
 DEFAULT_WALK_CHUNK_WALKERS = 4096
+
+def _prefer_serial_covers(n: int, configs: Sequence) -> bool:
+    """Whether a cover-only rotor chunk should skip the batch kernel.
+
+    A kernel round sweeps the full ``(B, n)`` configuration matrix; a
+    serial dict-engine round touches only the occupied nodes, O(k).
+    Their per-round work ratio is therefore ``Σ k_i`` (all lanes'
+    agents) against ``B·n``, and with the two engines' measured
+    per-element constants the crossover lands almost exactly at
+    ``Σ k_i ≈ n`` for n in 256..1024 (sparse-agent grids — few lanes
+    or small k at large n — favor the serial engine; dense grids the
+    kernel).  Both paths are pinned bit-identical by the equivalence
+    suites; this chooses scheduling, never semantics.
+    """
+    return sum(config.k for config in configs) < n
 
 ProgressFn = Callable[[int, int], None]
 
@@ -185,17 +201,28 @@ def compute_chunk(payload: dict) -> list[tuple[str, dict]]:
     order.
     """
     if payload["model"] == "walk":
+        if "gaps" in payload["metrics"]:
+            return _compute_gaps_chunk(payload)
         return _compute_walk_chunk(payload)
+    if payload["model"] == "rotor-general":
+        return _compute_general_chunk(payload)
     return _compute_rotor_chunk(payload)
 
 
 def _compute_rotor_chunk(payload: dict) -> list[tuple[str, dict]]:
-    """Rotor cells: one deterministic lane each, batch ring kernel."""
+    """Rotor cells: one deterministic lane each, batch ring kernel.
+
+    Sparse cover-only chunks take the serial dict-engine path instead
+    — identical results, better constants when agents are sparse (see
+    :func:`_prefer_serial_covers`).
+    """
     n = payload["n"]
     max_rounds = payload["max_rounds"]
     metrics: Sequence[str] = payload["metrics"]
     compact_ratio = payload.get("compact_ratio", DEFAULT_COMPACT_RATIO)
-    configs = [SweepConfig.from_dict(data) for data in payload["configs"]]
+    configs = [cell_from_dict(data) for data in payload["configs"]]
+    if list(metrics) == ["cover"] and _prefer_serial_covers(n, configs):
+        return _compute_rotor_covers_serial(n, max_rounds, configs)
     built = [config.build() for config in configs]
     pointers, counts = lanes_from_configs(
         n, [(directions, agents) for agents, directions in built]
@@ -259,7 +286,7 @@ def _compute_walk_chunk(payload: dict) -> list[tuple[str, dict]]:
     """
     n = payload["n"]
     max_rounds = payload["max_rounds"]
-    configs = [SweepConfig.from_dict(data) for data in payload["configs"]]
+    configs = [cell_from_dict(data) for data in payload["configs"]]
     lanes, slices = walk_lanes_from_cells(
         [(config.build_agents(), config.rep_seeds()) for config in configs]
     )
@@ -274,6 +301,11 @@ def _compute_walk_chunk(payload: dict) -> list[tuple[str, dict]]:
             "cover_reps": int(stop - start),
             "cover_truncated": truncated,
         }
+        if getattr(config, "record_samples", False):
+            # Explicit experiment cells keep the raw per-repetition
+            # samples so callers can rebuild the exact serial
+            # CoverEstimate (mean, std, CI and all).
+            metrics["cover_samples"] = [int(value) for value in samples]
         if truncated:
             metrics.update(
                 cover=None, cover_std=None,
@@ -294,8 +326,88 @@ def _compute_walk_chunk(payload: dict) -> list[tuple[str, dict]]:
     return out
 
 
+def _compute_rotor_covers_serial(
+    n: int, max_rounds: int, configs: list
+) -> list[tuple[str, dict]]:
+    """Few-lane cover chunk on the O(k)-per-round serial ring engine.
+
+    Mirrors the kernel's ``strict=False`` semantics: a cell that does
+    not cover within its budget records ``cover=None`` instead of
+    failing the chunk.
+    """
+    from repro.core.ring import RingRotorRouter
+
+    out: list[tuple[str, dict]] = []
+    for config in configs:
+        agents, directions = config.build()
+        engine = RingRotorRouter(n, directions, agents, track_counts=False)
+        try:
+            cover = int(engine.run_until_covered(max_rounds))
+        except RuntimeError:
+            cover = None
+        out.append((config.config_hash, {"cover": cover}))
+    return out
+
+
+def _compute_gaps_chunk(payload: dict) -> list[tuple[str, dict]]:
+    """Walk gap-statistics cells: one seeded measurement per cell.
+
+    Gap cells have no lane-sharing structure (each is one k-walker
+    stream observed at one node), so the chunk simply evaluates the
+    vectorized :func:`repro.randomwalk.visits.ring_walk_gap_statistics`
+    per cell; chunking still buys multiprocessing and caching.
+    """
+    from repro.randomwalk.visits import ring_walk_gap_statistics
+
+    out: list[tuple[str, dict]] = []
+    for data in payload["configs"]:
+        cell = cell_from_dict(data)
+        stats = ring_walk_gap_statistics(
+            cell.n,
+            cell.k,
+            node=cell.node,
+            observation_rounds=cell.observation_rounds,
+            burn_in=cell.burn_in,
+            seed=cell.seed,
+        )
+        out.append((cell.config_hash, stats.to_metrics()))
+    return out
+
+
+def _compute_general_chunk(payload: dict) -> list[tuple[str, dict]]:
+    """General-graph rotor cells: reference engine, one cell at a time.
+
+    Arbitrary graphs cannot share the ring kernel's vectorized rounds,
+    so each cell runs the reference engine; the executor still spreads
+    chunks over worker processes and caches every cell.  Graphs inside
+    one chunk are usually identical — the engine is rebuilt per cell
+    anyway because each cell carries its own pointer arrangement.
+    """
+    from repro.core.engine import MultiAgentRotorRouter
+    from repro.graphs.base import PortLabeledGraph
+
+    out: list[tuple[str, dict]] = []
+    graph = None
+    graph_ports = None
+    for data in payload["configs"]:
+        cell = cell_from_dict(data)
+        if graph is None or cell.graph_ports != graph_ports:
+            # Cells were serialized from validated graphs.
+            graph = PortLabeledGraph(cell.graph_ports, validate=False)
+            graph_ports = cell.graph_ports
+        engine = MultiAgentRotorRouter(
+            graph, list(cell.ports), list(cell.agents)
+        )
+        try:
+            cover = engine.run_until_covered(cell.max_rounds)
+        except RuntimeError:
+            cover = None
+        out.append((cell.config_hash, {"cover": cover}))
+    return out
+
+
 def _plan_chunks(
-    misses: list[SweepConfig],
+    misses: list,
     chunk_lanes: int,
     walk_chunk_walkers: int = DEFAULT_WALK_CHUNK_WALKERS,
     compact_ratio: float = DEFAULT_COMPACT_RATIO,
@@ -311,11 +423,12 @@ def _plan_chunks(
     ``compact_ratio`` rides along in every rotor payload to tune the
     limit-cycle pipeline's lane compaction.
     """
-    groups: dict[
-        tuple[str, int, int, tuple[str, ...]], list[SweepConfig]
-    ] = {}
+    groups: dict[tuple[str, int, int, tuple[str, ...]], list] = {}
     for config in misses:
-        key = (config.model, config.n, config.max_rounds, config.metrics)
+        key = (
+            config.model, config.n, config.max_rounds,
+            tuple(config.metrics),
+        )
         groups.setdefault(key, []).append(config)
     payloads = []
     for (model, n, max_rounds, metrics), members in sorted(groups.items()):
@@ -337,18 +450,18 @@ def _plan_chunks(
 
 def _slice_chunks(
     model: str,
-    members: list[SweepConfig],
+    members: list,
     chunk_lanes: int,
     walk_chunk_walkers: int,
-) -> list[list[SweepConfig]]:
+) -> list[list]:
     """Split one group's members into kernel-sized chunks."""
     if model != "walk":
         return [
             members[start:start + chunk_lanes]
             for start in range(0, len(members), chunk_lanes)
         ]
-    chunks: list[list[SweepConfig]] = []
-    current: list[SweepConfig] = []
+    chunks: list[list] = []
+    current: list = []
     walkers = 0
     for config in members:
         weight = config.k * config.repetitions
@@ -369,6 +482,77 @@ def stderr_progress(done: int, total: int) -> None:
     """Default progress reporter: one status line on stderr."""
     end = "\n" if done == total else "\r"
     print(f"sweep: {done}/{total} configurations", file=sys.stderr, end=end)
+
+
+def run_cells(
+    cells: Sequence,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    progress: ProgressFn | None = None,
+    chunk_lanes: int = DEFAULT_CHUNK_LANES,
+    walk_chunk_walkers: int = DEFAULT_WALK_CHUNK_WALKERS,
+    compact_ratio: float = DEFAULT_COMPACT_RATIO,
+) -> tuple[dict[str, dict], set[str]]:
+    """Execute a flat cell list: cache probe, then batched chunks.
+
+    The workhorse under both :func:`run_sweep` (scenario grids) and the
+    analysis backend (:mod:`repro.analysis.backend` explicit experiment
+    cells).  ``cells`` may mix models and cell kinds — anything
+    exposing the sweep-cell surface (``model``/``n``/``max_rounds``/
+    ``metrics``/``k``/``repetitions``/``config_hash``/``to_dict``)
+    schedules; duplicate hashes are computed once.
+
+    Returns ``(metrics_by_hash, cached_hashes)``: every requested
+    hash's metrics, plus the subset served from the cache.
+    """
+    if jobs < 0:
+        raise ValueError(f"jobs must be non-negative, got {jobs}")
+    if chunk_lanes < 1:
+        raise ValueError(f"chunk_lanes must be positive, got {chunk_lanes}")
+    if walk_chunk_walkers < 1:
+        raise ValueError(
+            f"walk_chunk_walkers must be positive, got {walk_chunk_walkers}"
+        )
+    _check_compact_ratio(compact_ratio)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    total = len({cell.config_hash for cell in cells})
+
+    metrics_by_hash: dict[str, dict] = {}
+    cached_hashes: set[str] = set()
+    misses: list = []
+    seen: set[str] = set()
+    for cell in cells:
+        if cell.config_hash in seen:
+            continue
+        seen.add(cell.config_hash)
+        entry = cache.get(cell) if cache is not None else None
+        if entry is not None:
+            metrics_by_hash[cell.config_hash] = entry
+            cached_hashes.add(cell.config_hash)
+        else:
+            misses.append(cell)
+    done = total - len(misses)
+    if progress:
+        progress(done, total)
+
+    by_hash = {cell.config_hash: cell for cell in misses}
+    payloads = _plan_chunks(
+        misses, chunk_lanes, walk_chunk_walkers, compact_ratio
+    )
+    if payloads:
+        if jobs > 1:
+            with multiprocessing.Pool(processes=jobs) as pool:
+                chunk_results = pool.imap_unordered(compute_chunk, payloads)
+                _collect(
+                    chunk_results, metrics_by_hash, by_hash, cache,
+                    done, total, progress,
+                )
+        else:
+            _collect(
+                map(compute_chunk, payloads), metrics_by_hash, by_hash,
+                cache, done, total, progress,
+            )
+    return metrics_by_hash, cached_hashes
 
 
 def run_sweep(
@@ -395,8 +579,6 @@ def run_sweep(
     scenarios.  None of them affects any result or cache identity,
     only how the work is batched.
     """
-    if jobs < 0:
-        raise ValueError(f"jobs must be non-negative, got {jobs}")
     if chunk_lanes is None:
         chunk_lanes = spec.chunk_lanes or DEFAULT_CHUNK_LANES
     if walk_chunk_walkers is None:
@@ -409,50 +591,17 @@ def run_sweep(
             if spec.compact_ratio is not None
             else DEFAULT_COMPACT_RATIO
         )
-    if chunk_lanes < 1:
-        raise ValueError(f"chunk_lanes must be positive, got {chunk_lanes}")
-    if walk_chunk_walkers < 1:
-        raise ValueError(
-            f"walk_chunk_walkers must be positive, got {walk_chunk_walkers}"
-        )
-    _check_compact_ratio(compact_ratio)
     started = time.perf_counter()
-    configs = spec.configs()
-    total = len(configs)
-    cache = ResultCache(cache_dir) if cache_dir else None
-
-    metrics_by_hash: dict[str, dict] = {}
-    cached_hashes: set[str] = set()
-    misses: list[SweepConfig] = []
-    for config in configs:  # spec expansion guarantees unique cells
-        entry = cache.get(config) if cache is not None else None
-        if entry is not None:
-            metrics_by_hash[config.config_hash] = entry
-            cached_hashes.add(config.config_hash)
-        else:
-            misses.append(config)
-    done = total - len(misses)
-    if progress:
-        progress(done, total)
-
-    by_hash = {config.config_hash: config for config in misses}
-    payloads = _plan_chunks(
-        misses, chunk_lanes, walk_chunk_walkers, compact_ratio
+    configs = spec.configs()  # spec expansion guarantees unique cells
+    metrics_by_hash, cached_hashes = run_cells(
+        configs,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        progress=progress,
+        chunk_lanes=chunk_lanes,
+        walk_chunk_walkers=walk_chunk_walkers,
+        compact_ratio=compact_ratio,
     )
-    if payloads:
-        if jobs > 1:
-            with multiprocessing.Pool(processes=jobs) as pool:
-                chunk_results = pool.imap_unordered(compute_chunk, payloads)
-                done = _collect(
-                    chunk_results, metrics_by_hash, by_hash, cache,
-                    done, total, progress,
-                )
-        else:
-            done = _collect(
-                map(compute_chunk, payloads), metrics_by_hash, by_hash,
-                cache, done, total, progress,
-            )
-
     results = [
         ConfigResult(
             config=config,

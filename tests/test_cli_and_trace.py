@@ -39,6 +39,50 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_run_rejects_bad_backend(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--backend", "gpu"])
+
+
+class TestCliBackendAccounting:
+    """`run` and `sweep` both end with a computed=X cached=Y line."""
+
+    def test_run_second_invocation_reports_zero_computed(
+        self, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache")
+        args = [
+            "run", "stabilization", "--quick", "--backend", "batch",
+            "--cache", cache,
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "computed=8 cached=0" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "computed=0 cached=8" in second
+        # Cached rerun renders the identical report.
+        assert first.split("computed=")[0] == second.split("computed=")[0]
+
+    def test_run_reference_backend_matches_batch(self, capsys):
+        assert main(["run", "stabilization", "--quick", "--cache", "none"]) == 0
+        batch = capsys.readouterr().out
+        assert main(
+            ["run", "stabilization", "--quick", "--backend", "reference"]
+        ) == 0
+        reference = capsys.readouterr().out
+        assert batch.split("backend=")[0] == reference.split("backend=")[0]
+
+    def test_sweep_second_invocation_reports_zero_computed(
+        self, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "sweep-cache")
+        args = ["sweep", "table1", "--quick", "--cache", cache]
+        assert main(args) == 0
+        assert "computed=6 cached=0" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "computed=0 cached=6" in capsys.readouterr().out
+
 
 class TestRenderConfiguration:
     def test_glyphs(self):

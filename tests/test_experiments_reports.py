@@ -49,6 +49,44 @@ class TestHarness:
         assert "x,y" in content
         assert "1,2" in content
 
+    def test_save_csv_disambiguates_colliding_slugs(self, tmp_path):
+        # Regression: captions that slugify identically used to silently
+        # overwrite each other's CSV file.
+        report = Report(title="collide")
+        first = Table(columns=["a"], caption="My Data!")
+        first.add_row(1)
+        second = Table(columns=["b"], caption="my data")
+        second.add_row(2)
+        report.add_table(first)
+        report.add_table(second)
+        paths = report.save_csv(str(tmp_path))
+        assert len(paths) == len(set(paths)) == 2
+        assert "a" in open(paths[0]).read()
+        assert "b" in open(paths[1]).read()
+
+    def test_save_csv_suffix_cannot_shadow_natural_slug(self, tmp_path):
+        # 'gaps', 'gaps', 'gaps t1' -> the disambiguated second table
+        # ('gaps-t1') must not overwrite the third's natural slug.
+        report = Report(title="shadow")
+        for caption, value in (("gaps", 1), ("gaps", 2), ("gaps t1", 3)):
+            table = Table(columns=["v"], caption=caption)
+            table.add_row(value)
+            report.add_table(table)
+        paths = report.save_csv(str(tmp_path))
+        assert len(set(paths)) == 3
+        contents = [open(path).read() for path in paths]
+        for value in ("1", "2", "3"):
+            assert any(value in text for text in contents)
+
+    def test_save_csv_disambiguates_empty_captions(self, tmp_path):
+        report = Report(title="anon")
+        for value in (1, 2):
+            table = Table(columns=["v"])  # no caption at all
+            table.add_row(value)
+            report.add_table(table)
+        paths = report.save_csv(str(tmp_path))
+        assert len(set(paths)) == 2
+
 
 class TestTable1:
     def test_cover_table_structure(self):
@@ -114,6 +152,50 @@ class TestTheoremReports:
         report = run_theorem6(n=64, ks=(2, 4), seeds=(0,))
         gaps = report.tables[0].column("gap*k/n")
         assert all(1.0 <= g <= 3.0 for g in gaps)
+
+
+class TestBackendsAgree:
+    """The batch backend renders the exact reports of the serial one."""
+
+    def test_table1_identical_across_backends(self):
+        batch = run_table1(n=64, ks=(2, 4), repetitions=2, return_n=48)
+        reference = run_table1(
+            n=64, ks=(2, 4), repetitions=2, return_n=48, backend="reference"
+        )
+        assert batch.render() == reference.render()
+        assert batch.stats.backend == "batch"
+        assert reference.stats.backend == "reference"
+
+    def test_theorem6_identical_across_backends(self):
+        batch = run_theorem6(n=48, ks=(2, 4), seeds=(0,))
+        reference = run_theorem6(n=48, ks=(2, 4), seeds=(0,), backend="reference")
+        assert batch.render() == reference.render()
+
+    def test_theorem5_identical_across_backends(self):
+        batch = run_theorem5(n=64, ks=(2, 4), repetitions=3)
+        reference = run_theorem5(n=64, ks=(2, 4), repetitions=3,
+                                 backend="reference")
+        assert batch.render() == reference.render()
+
+    def test_stabilization_identical_across_backends(self):
+        from repro.experiments.stabilization import run_stabilization
+
+        batch = run_stabilization(ns=(32, 48), k=4, seeds=(0,))
+        reference = run_stabilization(
+            ns=(32, 48), k=4, seeds=(0,), backend="reference"
+        )
+        assert batch.render() == reference.render()
+
+    def test_speedup_graphs_identical_across_backends(self):
+        from repro.experiments.speedup_graphs import run_speedup_graphs
+        from repro.graphs import ring_graph
+
+        families = {"ring": lambda: ring_graph(32)}
+        batch = run_speedup_graphs(ks=(2, 4), seeds=(0,), families=families)
+        reference = run_speedup_graphs(
+            ks=(2, 4), seeds=(0,), families=families, backend="reference"
+        )
+        assert batch.render() == reference.render()
 
 
 class TestFiguresAndContinuous:

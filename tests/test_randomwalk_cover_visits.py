@@ -79,3 +79,69 @@ class TestGapStatistics:
             n, k, node=1, observation_rounds=600 * n, burn_in=4 * n, seed=1
         )
         assert stats.maximum > 4 * stats.mean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_walk_gap_statistics(16, 2, node=16, observation_rounds=100)
+        with pytest.raises(ValueError):
+            ring_walk_gap_statistics(16, 2, node=0, observation_rounds=-1)
+        with pytest.raises(ValueError):  # ring minimum, as the harness had
+            ring_walk_gap_statistics(2, 1, node=0, observation_rounds=100)
+
+
+def _gap_statistics_reference(n, k, node, observation_rounds, burn_in, seed):
+    """The historical implementation: RingRandomWalks + visit_rounds_of.
+
+    Kept verbatim as the equivalence reference for the vectorized
+    :func:`ring_walk_gap_statistics`.
+    """
+    from repro.core.placement import equally_spaced
+    from repro.util.rng import derive_seed
+
+    walks = RingRandomWalks(
+        n, equally_spaced(n, k), seed=derive_seed(seed, "gaps", n, k, node)
+    )
+    if burn_in:
+        walks.run(burn_in)
+    rounds = walks.visit_rounds_of(node, observation_rounds)
+    return GapStatistics.from_visit_rounds(rounds)
+
+
+class TestVectorizedGapEquivalence:
+    """The numpy gap kernel is visit-for-visit the harness-based one."""
+
+    @pytest.mark.parametrize(
+        "n,k,node,window_factor,burn_factor,seed",
+        [
+            (16, 1, 0, 40, 0, 0),
+            (16, 2, 7, 40, 4, 1),
+            (24, 3, 11, 60, 2, 2),
+            (32, 4, 0, 50, 4, 3),
+            (48, 4, 23, 30, 1, 4),
+            (33, 5, 16, 45, 3, 5),  # odd ring, uneven spacing
+            (24, 2, 1, 100, 0, 6),  # no burn-in
+            (20, 6, 10, 35, 5, 7),
+        ],
+    )
+    def test_seeded_configs_match(
+        self, n, k, node, window_factor, burn_factor, seed
+    ):
+        observation = window_factor * n
+        burn_in = burn_factor * n
+        fast = ring_walk_gap_statistics(
+            n, k, node=node, observation_rounds=observation,
+            burn_in=burn_in, seed=seed,
+        )
+        reference = _gap_statistics_reference(
+            n, k, node, observation, burn_in, seed
+        )
+        assert fast == reference  # identical counts, moments and extremes
+
+    def test_window_longer_than_block_size(self):
+        # Multi-block paths (> 1024 rounds) must stay stream-aligned.
+        n, k = 16, 2
+        fast = ring_walk_gap_statistics(
+            n, k, node=3, observation_rounds=5000, burn_in=1500, seed=9
+        )
+        reference = _gap_statistics_reference(n, k, 3, 5000, 1500, 9)
+        assert fast == reference

@@ -91,14 +91,15 @@ class TestCliSweep:
         ) == 0
         out = capsys.readouterr().out
         assert "sweep 'table1'" in out
-        assert "0 cells from cache" in out
+        expected = registry.scenario("table1", quick=True).num_configs
+        assert f"computed={expected} cached=0" in out
 
         assert main(
             ["sweep", "table1", "--quick", "--jobs", "2", "--cache", cache_dir]
         ) == 0
         out = capsys.readouterr().out
         expected = registry.scenario("table1", quick=True).num_configs
-        assert f"{expected} cells from cache, 0 computed" in out
+        assert f"computed=0 cached={expected}" in out
 
     def test_sweep_without_cache(self, capsys):
         assert main(
@@ -184,7 +185,7 @@ class TestCliSweep:
         ) == 0
         out = capsys.readouterr().out
         expected = registry.scenario("table1_full", quick=True).num_configs
-        assert f"{expected} cells from cache, 0 computed" in out
+        assert f"computed=0 cached={expected}" in out
         assert "walk/rotor" in out
 
     def test_list_mentions_sweeps(self, capsys):
