@@ -275,14 +275,11 @@ class MeasurementPlan:
         """Rotor cover time on a port-labeled graph (exact int), as
         :func:`repro.analysis.cover_time.rotor_cover_time_general`."""
         if max_rounds is None:
+            # graph.diameter() caches, so wide grids pay the n-BFS
+            # sweep once per graph rather than once per cell.
             max_rounds = 16 * graph.diameter() * graph.num_edges + 64
-        cell = GeneralRotorCell(
-            graph_ports=tuple(
-                tuple(graph.neighbors(v)) for v in range(graph.num_nodes)
-            ),
-            agents=tuple(int(a) for a in agents),
-            ports=tuple(int(p) for p in ports),
-            max_rounds=max_rounds,
+        cell = GeneralRotorCell.from_graph(
+            graph, agents, ports, max_rounds
         )
         return self._schedule(cell, _wrap_rotor_cover)
 

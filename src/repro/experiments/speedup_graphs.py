@@ -5,16 +5,18 @@ experimental one of Yanovski et al. [27], who reported a *nearly
 linear* cover-time speed-up in practical scenarios on general graphs —
 in contrast to the ring's Θ(log k)-to-Θ(k²) placement-dependent range
 proven here.  This extension experiment reruns that study on the
-families in :mod:`repro.graphs` (grid, torus, hypercube, clique,
-random regular) with random placements/pointers, reporting measured
-speed-up and the best-fitting Table 1 shape; the ring columns are
-included for contrast.
+families in :mod:`repro.graphs` (torus, hypercube, clique, random
+regular, lollipop, G(n,p)) with random placements/pointers, reporting
+measured speed-up and the best-fitting Table 1 shape.
 
-General graphs have no shared vectorized rounds, but the (family x k x
-seed) grid still schedules onto one
-:class:`repro.analysis.backend.MeasurementPlan`: every cover cell is
-cached by its full (graph, agents, ports) identity and the chunks
-spread over worker processes when ``jobs > 1``.
+The whole (family x k x seed) grid schedules onto one
+:class:`repro.analysis.backend.MeasurementPlan` and executes through
+the CSR-batched kernel of :mod:`repro.sweep.batch_general`: all lanes
+— across families — share each round's vectorized dispatches, every
+cover cell is cached by its (graph digest, agents, ports) identity,
+and chunks spread over worker processes when ``jobs > 1``.  That is
+what pays for the 4x node counts and extra seeds relative to the
+serial-era grid.
 """
 
 from __future__ import annotations
@@ -28,18 +30,17 @@ from repro.analysis.speedup import (
     best_matching_shape,
     measure_speedup,
 )
-from repro.core.pointers import random_ports
 from repro.experiments.harness import Report
 from repro.graphs import (
     PortLabeledGraph,
     clique,
-    grid_2d,
+    gnp_random_graph,
     hypercube,
+    lollipop,
     random_regular_graph,
-    ring_graph,
     torus_2d,
 )
-from repro.util.rng import derive_seed, make_rng
+from repro.sweep.spec import general_instance
 from repro.util.stats import summarize
 from repro.util.tables import Table
 
@@ -47,28 +48,37 @@ GraphFactory = Callable[[], PortLabeledGraph]
 
 
 def default_families(scale: int = 1) -> dict[str, GraphFactory]:
-    """Graph families at a size scale (scale=1: ~256-node graphs)."""
-    side = 16 * scale
+    """Graph families at a size scale (scale=1: ~1024-node graphs).
+
+    4x the node count the serial study could afford (the batched CSR
+    kernel's round cost scales with occupied pairs, not graph size),
+    plus the two stress shapes the old grid left out: the lollipop
+    (the classic bad case for walk-style exploration — its tail makes
+    it the slowest family here, so it is kept at a quarter scale) and
+    a near-expander G(n, p) sample.
+    """
+    side = 32 * scale
+    n = side * side
     return {
-        "ring": lambda: ring_graph(side * side),
-        "grid": lambda: grid_2d(side, side),
         "torus": lambda: torus_2d(side, side),
-        "hypercube": lambda: hypercube(8 if scale == 1 else 10),
+        "hypercube": lambda: hypercube(10 if scale == 1 else 12),
         "clique": lambda: clique(4 * side),
-        "random-4-regular": lambda: random_regular_graph(
-            side * side, 4, seed=97
-        ),
+        "random-4-regular": lambda: random_regular_graph(n, 4, seed=97),
+        "lollipop": lambda: lollipop(3 * side // 2, 5 * side // 2),
+        # Mean degree ~8 on n/2 nodes: safely above the connectivity
+        # threshold, sparse enough to stay expander-like.
+        "gnp": lambda: gnp_random_graph(n // 2, 16.0 / n, seed=101),
     }
 
 
 def quick_families() -> dict[str, GraphFactory]:
-    """CI-sized graph families (~64 nodes) for ``--quick`` runs."""
-    side = 8
+    """CI-sized graph families (~36-64 nodes) for ``--quick`` runs."""
     return {
-        "ring": lambda: ring_graph(side * side),
-        "grid": lambda: grid_2d(side, side),
+        "torus": lambda: torus_2d(6, 6),
         "hypercube": lambda: hypercube(6),
-        "clique": lambda: clique(2 * side),
+        "clique": lambda: clique(16),
+        "lollipop": lambda: lollipop(8, 8),
+        "gnp": lambda: gnp_random_graph(48, 0.15, seed=101),
     }
 
 
@@ -77,14 +87,11 @@ def random_instance(
 ) -> tuple[list[int], list[int]]:
     """The seeded (agents, ports) instance of one speed-up sample.
 
-    The derivation (one RNG stream drawing agents first, then ports)
-    is the historical one, so scheduled cells reproduce the serial
-    study sample for sample.
+    Delegates to :func:`repro.sweep.spec.general_instance` — the one
+    shared derivation, so the ``general_speedup`` sweep scenario and
+    this experiment exchange cache entries cell for cell.
     """
-    rng = make_rng(derive_seed(seed, "speedup", graph.num_nodes, k))
-    agents = [int(rng.integers(0, graph.num_nodes)) for _ in range(k)]
-    ports = random_ports(graph, rng)
-    return agents, ports
+    return general_instance(graph, k, seed)
 
 
 def mean_cover_over_seeds(
@@ -100,8 +107,8 @@ def mean_cover_over_seeds(
 
 
 def run_speedup_graphs(
-    ks: Sequence[int] = (2, 4, 8, 16),
-    seeds: Sequence[int] = (0, 1, 2),
+    ks: Sequence[int] = (2, 4, 8, 16, 32),
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
     scale: int = 1,
     families: dict[str, GraphFactory] | None = None,
     backend: str = "batch",

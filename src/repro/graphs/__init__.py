@@ -10,7 +10,7 @@ for the graph families used in the paper and its related work: rings
 grids/tori, hypercubes, cliques, stars, lollipops and random graphs.
 """
 
-from repro.graphs.base import PortLabeledGraph
+from repro.graphs.base import GraphCSR, PortLabeledGraph
 from repro.graphs.families import (
     clique,
     grid_2d,
@@ -28,6 +28,7 @@ from repro.graphs.random_graphs import (
 from repro.graphs.ring import ring_graph
 
 __all__ = [
+    "GraphCSR",
     "PortLabeledGraph",
     "ring_graph",
     "path_graph",

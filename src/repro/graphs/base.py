@@ -14,8 +14,85 @@ identified by its tail and port index.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GraphCSR:
+    """A port-labeled graph packed into CSR arrays.
+
+    The flat layout the batched general-graph kernel consumes: node
+    ``v``'s neighbors in port order are
+    ``neighbors[indptr[v]:indptr[v + 1]]``, so *arc* ``(v, port)`` is
+    row ``indptr[v] + port``.  ``deg`` is redundant with ``indptr``
+    but kept materialized because the kernel gathers it per occupied
+    node every round.
+
+    Arrays are immutable (``writeable=False``); ``digest`` is a
+    deterministic content hash of the packed structure, used to key
+    shared graph tables so a graph is serialized once per executor
+    chunk instead of once per cell.
+    """
+
+    indptr: np.ndarray
+    neighbors: np.ndarray
+    deg: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("indptr", "neighbors", "deg"):
+            array = getattr(self, name)
+            if array.flags.writeable:
+                array = array.copy()
+                array.flags.writeable = False
+                object.__setattr__(self, name, array)
+
+    @classmethod
+    def from_ports(cls, ports: Sequence[Sequence[int]]) -> "GraphCSR":
+        """Pack explicit port lists (``ports[v]`` in cyclic order)."""
+        deg = np.fromiter(
+            (len(row) for row in ports), dtype=np.int64, count=len(ports)
+        )
+        indptr = np.zeros(len(ports) + 1, dtype=np.int64)
+        np.cumsum(deg, out=indptr[1:])
+        if indptr[-1]:
+            neighbors = np.concatenate(
+                [np.asarray(row, dtype=np.int64) for row in ports if len(row)]
+            )
+        else:
+            neighbors = np.zeros(0, dtype=np.int64)
+        return cls(indptr=indptr, neighbors=neighbors, deg=deg)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_arcs(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def digest(self) -> str:
+        """Deterministic content hash of the packed graph structure."""
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            payload = self.indptr.tobytes() + self.neighbors.tobytes()
+            cached = hashlib.sha256(payload).hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    def to_ports(self) -> tuple[tuple[int, ...], ...]:
+        """Unpack back into the port-list form (exact round trip)."""
+        flat = self.neighbors.tolist()
+        bounds = self.indptr.tolist()
+        return tuple(
+            tuple(flat[bounds[v]:bounds[v + 1]])
+            for v in range(self.num_nodes)
+        )
 
 
 class PortLabeledGraph:
@@ -31,7 +108,10 @@ class PortLabeledGraph:
         When true (the default), check symmetry and simplicity.
     """
 
-    __slots__ = ("_ports", "_port_index", "_num_edges")
+    __slots__ = (
+        "_ports", "_port_index_cache", "_num_edges", "_csr_cache",
+        "_diameter_cache",
+    )
 
     def __init__(
         self, ports: Sequence[Sequence[int]], validate: bool = True
@@ -42,11 +122,26 @@ class PortLabeledGraph:
         n = len(self._ports)
         if validate:
             self._validate(n)
-        # Reverse lookup: port index of u within ports[v].
-        self._port_index: tuple[dict[int, int], ...] = tuple(
-            {u: i for i, u in enumerate(row)} for row in self._ports
-        )
+        self._port_index_cache: tuple[dict[int, int], ...] | None = None
+        self._csr_cache: GraphCSR | None = None
+        self._diameter_cache: int | None = None
         self._num_edges = sum(len(row) for row in self._ports) // 2
+
+    @property
+    def _port_index(self) -> tuple[dict[int, int], ...]:
+        """Reverse lookup (port index of u within ports[v]), built lazily.
+
+        Most graphs never need the reverse direction — simulation only
+        follows ports forward — and building one dict per node is O(m)
+        Python-object work, so it is deferred to the first
+        ``port_to``/``has_edge`` call instead of taxing every
+        construction.
+        """
+        if self._port_index_cache is None:
+            self._port_index_cache = tuple(
+                {u: i for i, u in enumerate(row)} for row in self._ports
+            )
+        return self._port_index_cache
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -118,6 +213,21 @@ class PortLabeledGraph:
         """Neighbors of ``v`` in port order."""
         return self._ports[v]
 
+    def port_lists(self) -> tuple[tuple[int, ...], ...]:
+        """All port lists at once (the constructor's canonical form).
+
+        Returns the internal immutable tuple, so callers materializing
+        many cells over one graph share a single structure instead of
+        copying O(m) port data per cell.
+        """
+        return self._ports
+
+    def to_csr(self) -> GraphCSR:
+        """The graph packed into CSR arrays (computed once, cached)."""
+        if self._csr_cache is None:
+            self._csr_cache = GraphCSR.from_ports(self._ports)
+        return self._csr_cache
+
     def port_target(self, v: int, port: int) -> int:
         """The node reached from ``v`` through port ``port``."""
         return self._ports[v][port % len(self._ports[v])]
@@ -178,8 +288,17 @@ class PortLabeledGraph:
         return max(found.values())
 
     def diameter(self) -> int:
-        """Exact diameter by n BFS traversals (fine at our scales)."""
-        return max(self.eccentricity(v) for v in range(self.num_nodes))
+        """Exact diameter by n BFS traversals, computed once and cached.
+
+        The cache matters because round-budget derivations consult the
+        diameter once per scheduled cell — grids fan hundreds of cells
+        over one graph instance.
+        """
+        if self._diameter_cache is None:
+            self._diameter_cache = max(
+                self.eccentricity(v) for v in range(self.num_nodes)
+            )
+        return self._diameter_cache
 
     def to_networkx(self):
         """Export to a networkx graph (edges only; port order is lost)."""

@@ -13,6 +13,10 @@ cached, parallel parameter sweeps:
   walk cells fan out over seeded repetitions into ``(R·B)`` lanes with
   exact per-lane cover detection, seed-for-seed equal to the reference
   :class:`repro.randomwalk.ring_walk.RingRandomWalks`;
+- :mod:`repro.sweep.batch_general` — the CSR-batched rotor-router
+  kernel for arbitrary port-labeled graphs: sparse occupancy stepping
+  over stacked CSR arrays, heterogeneous graphs per invocation, exact
+  per-lane cover detection and a scalar tail finisher;
 - :mod:`repro.sweep.cells` — explicit measurement cells (materialized
   agents/pointers/seeds rather than named families) that give the
   paper-reproduction experiments the same cached, batched execution
@@ -41,6 +45,11 @@ from repro.sweep.batch_ring import (
     batch_return_gaps,
     lanes_from_configs,
 )
+from repro.sweep.batch_general import (
+    BatchGeneralKernel,
+    GeneralLane,
+    batch_general_covers,
+)
 from repro.sweep.batch_walk import (
     BatchRingWalks,
     WalkLane,
@@ -48,6 +57,7 @@ from repro.sweep.batch_walk import (
 )
 from repro.sweep.cells import (
     GeneralRotorCell,
+    LabeledGeneralRotorCell,
     RotorCell,
     WalkCoverCell,
     WalkGapsCell,
@@ -61,20 +71,30 @@ from repro.sweep.executor import (
     run_sweep,
 )
 from repro.sweep.registry import scenario, scenario_names
-from repro.sweep.spec import InitFamily, ScenarioSpec, SweepConfig
+from repro.sweep.spec import (
+    GeneralScenarioSpec,
+    InitFamily,
+    ScenarioSpec,
+    SweepConfig,
+    general_instance,
+)
 
 __all__ = [
     "DEFAULT_COMPACT_RATIO",
+    "BatchGeneralKernel",
     "BatchLimitCycles",
     "BatchRingKernel",
     "BatchRingWalks",
+    "GeneralLane",
     "WalkLane",
+    "batch_general_covers",
     "batch_limit_cycles",
     "batch_return_gaps",
     "lanes_from_configs",
     "walk_lanes_from_cells",
     "ConfigResult",
     "GeneralRotorCell",
+    "LabeledGeneralRotorCell",
     "ResultCache",
     "RotorCell",
     "SweepResult",
@@ -89,7 +109,9 @@ __all__ = [
     "summary_tables",
     "scenario",
     "scenario_names",
+    "GeneralScenarioSpec",
     "InitFamily",
     "ScenarioSpec",
     "SweepConfig",
+    "general_instance",
 ]

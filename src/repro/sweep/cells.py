@@ -24,9 +24,10 @@ Four cell kinds cover every measurement the experiments make:
 * :class:`WalkGapsCell` — visit-gap statistics of k walkers at one
   node (the Table 1 return-time contrast column);
 * :class:`GeneralRotorCell` — rotor-router cover on an arbitrary
-  port-labeled graph (the Yanovski speed-up extension); lanes cannot
-  share vectorized rounds, but cells still chunk, parallelize and
-  cache through the executor.
+  port-labeled graph (the Yanovski speed-up extension); lanes batch
+  through the CSR kernel of :mod:`repro.sweep.batch_general`, with
+  the graph structure carried once per chunk in a digest-keyed table
+  instead of once per cell.
 
 ``cell_from_dict`` is the executor's deserializer: worker processes
 receive plain dicts and dispatch on the ``kind`` marker (absent for
@@ -38,10 +39,13 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
+from typing import Mapping
 
 #: Bump when any explicit cell's identity layout or measurement
 #: semantics change, so stale cache entries are never served.
-CELL_SCHEMA_VERSION = 1
+#: v2: general cells identify their graph by CSR digest instead of
+#: embedding the full O(m) port lists in every cell's identity.
+CELL_SCHEMA_VERSION = 2
 
 
 def _hash_identity(identity: dict) -> str:
@@ -262,12 +266,15 @@ class WalkGapsCell:
 class GeneralRotorCell:
     """Rotor-router cover time on an arbitrary port-labeled graph.
 
-    The identity embeds the whole port structure (``ports[v]`` lists in
-    cyclic order), so topologically identical graphs built by different
-    factories still share cache entries.  These cells have no shared
-    vectorized rounds — each runs the reference
-    :class:`repro.core.engine.MultiAgentRotorRouter` — but the executor
-    still chunks them across worker processes and caches each result.
+    The identity names the graph by the content digest of its CSR
+    packing (:class:`repro.graphs.base.GraphCSR`), so topologically
+    identical graphs built by different factories still share cache
+    entries — while a cell's serialized form shrinks to O(n + k) (the
+    pointer and agent vectors) instead of re-embedding the full O(m)
+    port lists once per seed.  The port structure itself travels once per executor chunk
+    in a digest-keyed graph table (see
+    :func:`repro.sweep.executor._plan_chunks`), and chunks dispatch to
+    the batched CSR kernel of :mod:`repro.sweep.batch_general`.
     """
 
     graph_ports: tuple[tuple[int, ...], ...]
@@ -288,6 +295,26 @@ class GeneralRotorCell:
                 f"got {len(self.ports)}"
             )
 
+    @classmethod
+    def from_graph(
+        cls, graph, agents, ports, max_rounds: int, **extra
+    ) -> "GeneralRotorCell":
+        """Build a cell over a :class:`PortLabeledGraph` without copies.
+
+        Shares the graph's canonical port tuple and its cached CSR, so
+        scheduling hundreds of cells over one graph packs (and digests)
+        it exactly once.
+        """
+        cell = cls(
+            graph_ports=graph.port_lists(),
+            agents=tuple(int(a) for a in agents),
+            ports=tuple(int(p) for p in ports),
+            max_rounds=int(max_rounds),
+            **extra,
+        )
+        object.__setattr__(cell, "_csr", graph.to_csr())
+        return cell
+
     @property
     def n(self) -> int:
         return len(self.graph_ports)
@@ -296,11 +323,27 @@ class GeneralRotorCell:
     def k(self) -> int:
         return len(self.agents)
 
+    def csr(self):
+        """The graph's CSR packing (computed once per cell, shared by
+        cells built through :meth:`from_graph` or a chunk graph table)."""
+        cached = getattr(self, "_csr", None)
+        if cached is None:
+            from repro.graphs.base import GraphCSR
+
+            cached = GraphCSR.from_ports(self.graph_ports)
+            object.__setattr__(self, "_csr", cached)
+        return cached
+
+    @property
+    def graph_digest(self) -> str:
+        return self.csr().digest
+
     def identity(self) -> dict:
         return {
             "kind": "general-rotor-cell",
             "schema": CELL_SCHEMA_VERSION,
-            "graph_ports": [list(row) for row in self.graph_ports],
+            "graph": self.graph_digest,
+            "n": self.n,
             "agents": list(self.agents),
             "ports": list(self.ports),
             "max_rounds": self.max_rounds,
@@ -314,16 +357,57 @@ class GeneralRotorCell:
         return self.identity()
 
     @classmethod
-    def from_dict(cls, data: dict) -> "GeneralRotorCell":
+    def from_dict(
+        cls, data: dict, graphs: Mapping[str, object] | None = None
+    ) -> "GeneralRotorCell":
+        """Rebuild from the compact dict plus a digest-keyed graph table.
+
+        ``graphs`` maps digests to :class:`repro.graphs.base.GraphCSR`
+        instances (an executor chunk payload carries exactly the table
+        its cells need).
+        """
         _check_schema(data, "general-rotor-cell")
-        return cls(
-            graph_ports=tuple(
-                tuple(int(u) for u in row) for row in data["graph_ports"]
-            ),
+        digest = data["graph"]
+        if graphs is None or digest not in graphs:
+            raise ValueError(
+                f"general-rotor-cell {digest[:12]}… needs its graph "
+                "table entry to deserialize"
+            )
+        csr = graphs[digest]
+        graph_ports = getattr(csr, "_cached_ports", None)
+        if graph_ports is None:
+            graph_ports = csr.to_ports()
+            object.__setattr__(csr, "_cached_ports", graph_ports)
+        cell = cls(
+            graph_ports=graph_ports,
             agents=tuple(int(a) for a in data["agents"]),
             ports=tuple(int(p) for p in data["ports"]),
             max_rounds=int(data["max_rounds"]),
         )
+        object.__setattr__(cell, "_csr", csr)
+        return cell
+
+
+@dataclass(frozen=True)
+class LabeledGeneralRotorCell(GeneralRotorCell):
+    """A general cell with display labels for sweep tables.
+
+    ``family`` and ``seed`` name how the instance was derived; they are
+    deliberately *not* part of the identity, so a labeled scenario cell
+    and an unlabeled experiment cell over the same (graph, agents,
+    ports, budget) share one cache entry.
+    """
+
+    family: str = ""
+    seed: int = 0
+
+    @property
+    def placement(self) -> str:
+        return self.family
+
+    @property
+    def pointer(self) -> str:
+        return "random"
 
 
 _KINDS = {
@@ -344,11 +428,12 @@ def _check_schema(data: dict, kind: str) -> None:
         )
 
 
-def cell_from_dict(data: dict):
+def cell_from_dict(data: dict, graphs: Mapping[str, object] | None = None):
     """Rebuild any sweep cell from its dict form.
 
     Explicit cells carry a ``kind`` marker; dicts without one are
-    classic :class:`repro.sweep.spec.SweepConfig` cells.
+    classic :class:`repro.sweep.spec.SweepConfig` cells.  General cells
+    additionally need ``graphs``, the chunk's digest-keyed graph table.
     """
     kind = data.get("kind")
     if kind is None:
@@ -361,4 +446,6 @@ def cell_from_dict(data: dict):
         raise ValueError(
             f"unknown cell kind {kind!r}; known: {sorted(_KINDS)}"
         ) from None
+    if kind == "general-rotor-cell":
+        return cls.from_dict(data, graphs=graphs)
     return cls.from_dict(data)

@@ -10,10 +10,13 @@ results in three stages:
    round budget and metric set, then chunked; a rotor chunk becomes
    one :class:`repro.sweep.batch_ring.BatchRingKernel` invocation
    stepping all of the chunk's lanes with shared vectorized rounds,
-   and a walk chunk one :class:`repro.sweep.batch_walk.BatchRingWalks`
+   a walk chunk one :class:`repro.sweep.batch_walk.BatchRingWalks`
    invocation whose lanes are the cells' seeded repetitions (walk
    chunks are additionally capped by total walker count, since the
-   block buffers scale with ``Σ k·repetitions``);
+   block buffers scale with ``Σ k·repetitions``), and a general-graph
+   chunk one :class:`repro.sweep.batch_general.BatchGeneralKernel`
+   invocation over a digest-keyed graph table (graphs serialize once
+   per chunk, lanes of *different* graphs share rounds);
 3. **execution** — chunks run in-process (``jobs <= 1``) or across a
    ``multiprocessing`` pool, with per-chunk progress reporting; fresh
    results are written back to the cache as they arrive.
@@ -374,14 +377,50 @@ def _compute_gaps_chunk(payload: dict) -> list[tuple[str, dict]]:
     return out
 
 
-def _compute_general_chunk(payload: dict) -> list[tuple[str, dict]]:
-    """General-graph rotor cells: reference engine, one cell at a time.
+#: Serial-engine escape hatch for general chunks: below this many total
+#: graph nodes across the chunk's lanes, kernel setup (stacking CSRs,
+#: slab tables) costs more than it saves and the chunk runs on the
+#: reference engine instead.  Identity-neutral, like the sparse-ring
+#: crossover above: both paths are pinned bit-identical.
+GENERAL_SERIAL_NODES = 256
 
-    Arbitrary graphs cannot share the ring kernel's vectorized rounds,
-    so each cell runs the reference engine; the executor still spreads
-    chunks over worker processes and caches every cell.  Graphs inside
-    one chunk are usually identical — the engine is rebuilt per cell
-    anyway because each cell carries its own pointer arrangement.
+
+def _compute_general_chunk(payload: dict) -> list[tuple[str, dict]]:
+    """General-graph rotor cells: batched CSR kernel per chunk.
+
+    The chunk carries its graphs once in a digest-keyed table
+    (``payload["graphs"]``); every cell of the chunk becomes one lane
+    of a single :class:`repro.sweep.batch_general.BatchGeneralKernel`
+    invocation, so all seeds, k-values — and families — advance with
+    shared vectorized rounds.  Tiny chunks take the reference-engine
+    path instead (see :data:`GENERAL_SERIAL_NODES`).
+    """
+    graphs = payload["graphs"]
+    cells = [
+        cell_from_dict(data, graphs=graphs) for data in payload["configs"]
+    ]
+    if sum(cell.n for cell in cells) <= GENERAL_SERIAL_NODES:
+        return _compute_general_serial(cells)
+    from repro.sweep.batch_general import batch_general_covers
+
+    covers = batch_general_covers(
+        [
+            (cell.csr(), cell.ports, cell.agents, cell.max_rounds)
+            for cell in cells
+        ],
+        strict=False,
+    )
+    return [
+        (cell.config_hash, {"cover": int(c) if c >= 0 else None})
+        for cell, c in zip(cells, covers)
+    ]
+
+
+def _compute_general_serial(cells: list) -> list[tuple[str, dict]]:
+    """Small general chunks on the reference engine, one cell at a time.
+
+    Mirrors the kernel's ``strict=False`` semantics: a cell that does
+    not cover within its budget records ``cover=None``.
     """
     from repro.core.engine import MultiAgentRotorRouter
     from repro.graphs.base import PortLabeledGraph
@@ -389,9 +428,8 @@ def _compute_general_chunk(payload: dict) -> list[tuple[str, dict]]:
     out: list[tuple[str, dict]] = []
     graph = None
     graph_ports = None
-    for data in payload["configs"]:
-        cell = cell_from_dict(data)
-        if graph is None or cell.graph_ports != graph_ports:
+    for cell in cells:
+        if graph is None or cell.graph_ports is not graph_ports:
             # Cells were serialized from validated graphs.
             graph = PortLabeledGraph(cell.graph_ports, validate=False)
             graph_ports = cell.graph_ports
@@ -411,6 +449,7 @@ def _plan_chunks(
     chunk_lanes: int,
     walk_chunk_walkers: int = DEFAULT_WALK_CHUNK_WALKERS,
     compact_ratio: float = DEFAULT_COMPACT_RATIO,
+    jobs: int = 1,
 ) -> list[dict]:
     """Group misses by (model, n, budget, metrics); slice into payloads.
 
@@ -422,29 +461,52 @@ def _plan_chunks(
     memory regardless of how many repetitions a cell fans out into.
     ``compact_ratio`` rides along in every rotor payload to tune the
     limit-cycle pipeline's lane compaction.
+
+    General-graph cells group together regardless of size or budget —
+    the CSR kernel steps heterogeneous lanes natively, and the more
+    lanes share one invocation, the better the long single-agent tails
+    amortize — ordered by graph digest so every chunk's cells cluster
+    by graph and its digest-keyed graph table (``payload["graphs"]``,
+    one :class:`~repro.graphs.base.GraphCSR` per distinct graph) stays
+    small.  With ``jobs <= 1`` the whole group is one chunk (splitting
+    buys nothing in-process); parallel runs split it ``2·jobs`` ways,
+    floored by ``chunk_lanes``.
     """
     groups: dict[tuple[str, int, int, tuple[str, ...]], list] = {}
     for config in misses:
-        key = (
-            config.model, config.n, config.max_rounds,
-            tuple(config.metrics),
-        )
+        if config.model == "rotor-general":
+            # One group: lane budgets/sizes are per-cell in the kernel.
+            key = (config.model, 0, 0, tuple(config.metrics))
+        else:
+            key = (
+                config.model, config.n, config.max_rounds,
+                tuple(config.metrics),
+            )
         groups.setdefault(key, []).append(config)
     payloads = []
     for (model, n, max_rounds, metrics), members in sorted(groups.items()):
+        if model == "rotor-general":
+            # Stable, so same-graph cells keep their miss order.
+            members = sorted(members, key=lambda cell: cell.graph_digest)
         for chunk in _slice_chunks(
-            model, members, chunk_lanes, walk_chunk_walkers
+            model, members, chunk_lanes, walk_chunk_walkers, jobs
         ):
-            payloads.append(
-                {
-                    "model": model,
-                    "n": n,
-                    "max_rounds": max_rounds,
-                    "metrics": list(metrics),
-                    "compact_ratio": compact_ratio,
-                    "configs": [config.to_dict() for config in chunk],
+            payload = {
+                "model": model,
+                "n": n,
+                "max_rounds": max_rounds,
+                "metrics": list(metrics),
+                "compact_ratio": compact_ratio,
+                "configs": [config.to_dict() for config in chunk],
+            }
+            if model == "rotor-general":
+                payload["max_rounds"] = max(
+                    config.max_rounds for config in chunk
+                )
+                payload["graphs"] = {
+                    config.graph_digest: config.csr() for config in chunk
                 }
-            )
+            payloads.append(payload)
     return payloads
 
 
@@ -453,8 +515,19 @@ def _slice_chunks(
     members: list,
     chunk_lanes: int,
     walk_chunk_walkers: int,
+    jobs: int = 1,
 ) -> list[list]:
     """Split one group's members into kernel-sized chunks."""
+    if model == "rotor-general":
+        # Lane sharing is the whole point of the general kernel: only
+        # split when worker processes can actually consume the chunks.
+        if jobs <= 1:
+            return [members]
+        size = max(chunk_lanes, -(-len(members) // (2 * jobs)))
+        return [
+            members[start:start + size]
+            for start in range(0, len(members), size)
+        ]
     if model != "walk":
         return [
             members[start:start + chunk_lanes]
@@ -537,7 +610,7 @@ def run_cells(
 
     by_hash = {cell.config_hash: cell for cell in misses}
     payloads = _plan_chunks(
-        misses, chunk_lanes, walk_chunk_walkers, compact_ratio
+        misses, chunk_lanes, walk_chunk_walkers, compact_ratio, jobs
     )
     if payloads:
         if jobs > 1:

@@ -18,6 +18,10 @@ experiment scripts on top of the sweep subsystem:
 * ``stabilization`` — the time-to-limit-cycle extension study:
   preperiod, period and in-cycle return gaps across initialization
   families including random ones;
+* ``general_speedup`` — the Yanovski-style speed-up grid on general
+  graph families (torus, hypercube, lollipop, G(n,p)): every
+  (family, k, seed) cell is one lane of the batched CSR kernel, with
+  the aggregate layer joining the k = 1 baselines into S(k) curves;
 * ``cover_scaling`` — a wide (n, k, family) cover-time grid the serial
   experiment scripts never attempt in one run.
 
@@ -29,7 +33,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.sweep.spec import InitFamily, ScenarioSpec
+from repro.sweep.spec import GeneralScenarioSpec, InitFamily, ScenarioSpec
 
 ScenarioBuilder = Callable[[bool], ScenarioSpec]
 
@@ -155,6 +159,47 @@ def _stabilization(quick: bool) -> ScenarioSpec:
         # one size resolve at very different times.
         chunk_lanes=256,
         compact_ratio=0.5,
+    )
+
+
+@register(
+    "general_speedup",
+    "Yanovski-style speed-up grid on general graphs (CSR-batched kernel)",
+)
+def _general_speedup(quick: bool) -> GeneralScenarioSpec:
+    from repro.graphs import (
+        gnp_random_graph,
+        hypercube,
+        lollipop,
+        torus_2d,
+    )
+
+    if quick:
+        graphs = (
+            ("torus", torus_2d(6, 6)),
+            ("hypercube", hypercube(5)),
+            ("lollipop", lollipop(8, 8)),
+            ("gnp", gnp_random_graph(48, 0.15, seed=11)),
+        )
+        ks, seeds = (1, 2, 4), (0,)
+    else:
+        graphs = (
+            ("torus", torus_2d(16, 16)),
+            ("hypercube", hypercube(8)),
+            ("lollipop", lollipop(24, 40)),
+            ("gnp", gnp_random_graph(192, 0.04, seed=11)),
+        )
+        ks, seeds = (1, 2, 4, 8, 16), (0, 1, 2)
+    return GeneralScenarioSpec(
+        name="general_speedup",
+        graphs=graphs,
+        ks=ks,
+        seeds=seeds,
+        description=(
+            "cover-time speed-up S(k) = C(1)/C(k) across general graph "
+            "families, every (family, k, seed) cell one lane of the "
+            "batched CSR kernel"
+        ),
     )
 
 

@@ -34,7 +34,7 @@ from typing import Callable, Sequence
 
 from repro.core import placement as _placement
 from repro.core import pointers as _pointers
-from repro.util.rng import derive_seed
+from repro.util.rng import derive_seed, make_rng
 
 #: Bump when the identity layout or initializer semantics change, so
 #: stale cache entries from older code are never served.
@@ -386,6 +386,91 @@ class ScenarioSpec:
                                     repetitions=repetitions,
                                 )
                             )
+        return cells
+
+    @property
+    def spec_hash(self) -> str:
+        digest = hashlib.sha256()
+        for config in self.configs():
+            digest.update(config.config_hash.encode("ascii"))
+        return digest.hexdigest()
+
+    @property
+    def num_configs(self) -> int:
+        return len(self.configs())
+
+
+def general_instance(graph, k: int, seed: int) -> tuple[list[int], list[int]]:
+    """The seeded ``(agents, ports)`` instance of one general-graph cell.
+
+    One RNG stream draws the k agent positions first, then the pointer
+    ports — the historical derivation of the Yanovski speed-up study
+    (:mod:`repro.experiments.speedup_graphs`), kept verbatim so sweep
+    scenarios and the experiment share cache entries cell for cell.
+    """
+    rng = make_rng(derive_seed(seed, "speedup", graph.num_nodes, k))
+    agents = [int(rng.integers(0, graph.num_nodes)) for _ in range(k)]
+    ports = _pointers.random_ports(graph, rng)
+    return agents, ports
+
+
+@dataclass(frozen=True)
+class GeneralScenarioSpec:
+    """A declarative sweep over general-graph rotor-router cover cells.
+
+    The grid is ``graphs x ks x seeds``: every cell is one seeded
+    (placement, pointer) instance (:func:`general_instance`) of a named
+    graph, materialized as a
+    :class:`repro.sweep.cells.LabeledGeneralRotorCell` — so the cells
+    run through the batched CSR kernel, cache by their (graph digest,
+    agents, ports, budget) identity, and render in sweep tables under
+    their family name.  Include ``1`` in ``ks`` to anchor the
+    aggregate speed-up view ``S(k) = C(1)/C(k)``.
+
+    Graph instances (not factories) are part of the spec, so the spec
+    is hashable and its expansion deterministic; budgets follow the
+    same ``16·diam·m + 64`` rule as the analysis backend.
+    """
+
+    name: str
+    graphs: tuple[tuple[str, object], ...]
+    ks: tuple[int, ...]
+    seeds: tuple[int, ...] = (0,)
+    description: str = field(default="", compare=False)
+    #: Scheduling hints, mirroring :class:`ScenarioSpec` (the executor
+    #: reads them duck-typed); identity-neutral.
+    chunk_lanes: int | None = field(default=None, compare=False)
+    walk_chunk_walkers: int | None = field(default=None, compare=False)
+    compact_ratio: float | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.graphs:
+            raise ValueError("at least one graph family is required")
+        if not self.ks or any(k < 1 for k in self.ks):
+            raise ValueError(
+                f"ks must be non-empty with every k >= 1: {self.ks}"
+            )
+        if not self.seeds:
+            raise ValueError("at least one seed is required")
+
+    def budget(self, graph) -> int:
+        return 16 * graph.diameter() * graph.num_edges + 64
+
+    def configs(self) -> list:
+        from repro.sweep.cells import LabeledGeneralRotorCell
+
+        cells = []
+        for family, graph in self.graphs:
+            budget = self.budget(graph)
+            for k in self.ks:
+                for seed in self.seeds:
+                    agents, ports = general_instance(graph, k, seed)
+                    cells.append(
+                        LabeledGeneralRotorCell.from_graph(
+                            graph, agents, ports, budget,
+                            family=family, seed=seed,
+                        )
+                    )
         return cells
 
     @property

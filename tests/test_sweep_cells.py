@@ -114,7 +114,47 @@ class TestGeneralRotorCell:
         assert cell.model == "rotor-general"
         assert cell.n == 3
         assert cell.k == 1
-        assert cell_from_dict(cell.to_dict()) == cell
+        # The dict form is compact (graph by digest); deserialization
+        # resolves the structure through the chunk's graph table.
+        graphs = {cell.graph_digest: cell.csr()}
+        clone = cell_from_dict(cell.to_dict(), graphs=graphs)
+        assert clone == cell
+        assert clone.config_hash == cell.config_hash
+
+    def test_dict_form_is_compact_and_needs_graph_table(self):
+        cell = GeneralRotorCell(
+            graph_ports=((1, 2), (0, 2), (0, 1)),
+            agents=(0,),
+            ports=(0, 0, 0),
+            max_rounds=100,
+        )
+        data = cell.to_dict()
+        assert "graph_ports" not in data
+        assert data["graph"] == cell.graph_digest
+        with pytest.raises(ValueError, match="graph table"):
+            cell_from_dict(data)
+
+    def test_labeled_cell_shares_identity(self):
+        from repro.sweep.cells import LabeledGeneralRotorCell
+
+        plain = GeneralRotorCell(
+            graph_ports=((1, 2), (0, 2), (0, 1)),
+            agents=(0,),
+            ports=(0, 0, 0),
+            max_rounds=100,
+        )
+        labeled = LabeledGeneralRotorCell(
+            graph_ports=((1, 2), (0, 2), (0, 1)),
+            agents=(0,),
+            ports=(0, 0, 0),
+            max_rounds=100,
+            family="triangle",
+            seed=7,
+        )
+        assert labeled.config_hash == plain.config_hash
+        assert labeled.placement == "triangle"
+        assert labeled.pointer == "random"
+        assert labeled.seed == 7
 
     def test_identity_includes_graph(self):
         triangle = GeneralRotorCell(

@@ -323,6 +323,99 @@ class TestChunkPlanning:
         assert sorted(p["model"] for p in payloads) == ["rotor", "walk"]
 
 
+def _general_cells(graphs, ks=(1, 2), seeds=(0,)):
+    from repro.sweep.cells import GeneralRotorCell
+    from repro.sweep.spec import general_instance
+
+    cells = []
+    for graph in graphs:
+        for k in ks:
+            for seed in seeds:
+                agents, ports = general_instance(graph, k, seed)
+                cells.append(
+                    GeneralRotorCell.from_graph(graph, agents, ports, 50_000)
+                )
+    return cells
+
+
+class TestGeneralChunkPlanning:
+    def test_one_shared_chunk_with_digest_keyed_graph_table(self):
+        from repro.graphs import hypercube, star, torus_2d
+
+        graphs = [torus_2d(4, 4), star(6), hypercube(4)]
+        cells = _general_cells(graphs, ks=(1, 2, 5), seeds=(0, 1))
+        payloads = _plan_chunks(cells, chunk_lanes=4)
+        # jobs=1: the whole general group shares one kernel invocation,
+        # regardless of chunk_lanes or differing budgets/graph sizes.
+        assert len(payloads) == 1
+        payload = payloads[0]
+        assert payload["model"] == "rotor-general"
+        # The graph table carries each distinct graph exactly once,
+        # keyed by digest — not once per cell.
+        assert set(payload["graphs"]) == {
+            graph.to_csr().digest for graph in graphs
+        }
+        # Cells serialize compactly: digests, not port lists.
+        for data in payload["configs"]:
+            assert "graph_ports" not in data
+            assert data["graph"] in payload["graphs"]
+        # Cells are clustered by graph digest.
+        digests = [data["graph"] for data in payload["configs"]]
+        assert digests == sorted(digests)
+
+    def test_parallel_planning_splits_general_group(self):
+        from repro.graphs import torus_2d
+
+        cells = _general_cells([torus_2d(4, 4)], ks=(1, 2, 3, 4),
+                               seeds=(0, 1, 2))
+        payloads = _plan_chunks(cells, chunk_lanes=2, jobs=3)
+        assert len(payloads) > 1
+        total = sum(len(p["configs"]) for p in payloads)
+        assert total == len(cells)
+
+    def test_general_chunk_results_match_reference_engine(self):
+        from repro.core.engine import MultiAgentRotorRouter
+        from repro.graphs import lollipop, torus_2d
+
+        graphs = [torus_2d(5, 5), lollipop(5, 4)]
+        # Enough total nodes to cross the serial escape hatch and
+        # exercise the batched kernel through compute_chunk.
+        cells = _general_cells(graphs, ks=(1, 2, 9), seeds=(0, 1, 2))
+        assert sum(cell.n for cell in cells) > 256
+        (payload,) = _plan_chunks(cells, chunk_lanes=64)
+        results = dict(compute_chunk(payload))
+        assert len(results) == len(cells)
+        for cell in cells:
+            graph = next(
+                g for g in graphs
+                if g.to_csr().digest == cell.graph_digest
+            )
+            engine = MultiAgentRotorRouter(
+                graph, list(cell.ports), list(cell.agents)
+            )
+            expected = engine.run_until_covered(cell.max_rounds)
+            assert results[cell.config_hash] == {"cover": expected}
+
+    def test_small_general_chunks_take_serial_path(self):
+        from repro.graphs import star
+        from repro.sweep.executor import GENERAL_SERIAL_NODES
+
+        cells = _general_cells([star(5)], ks=(1, 2), seeds=(0,))
+        assert sum(cell.n for cell in cells) <= GENERAL_SERIAL_NODES
+        (payload,) = _plan_chunks(cells, chunk_lanes=64)
+        results = dict(compute_chunk(payload))
+        # Identity-neutral: the escape hatch computes the same covers.
+        from repro.analysis.cover_time import rotor_cover_time_general
+
+        graph = star(5)
+        for cell in cells:
+            assert results[cell.config_hash]["cover"] == (
+                rotor_cover_time_general(
+                    graph, list(cell.agents), list(cell.ports)
+                )
+            )
+
+
 class TestCache:
     def test_second_run_is_all_hits(self, tmp_path):
         spec = _cover_spec()

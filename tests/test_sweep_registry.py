@@ -4,7 +4,7 @@ import pytest
 
 from repro.cli import main
 from repro.sweep import registry, run_sweep
-from repro.sweep.spec import ScenarioSpec
+from repro.sweep.spec import GeneralScenarioSpec, ScenarioSpec
 
 
 class TestRegistry:
@@ -23,7 +23,7 @@ class TestRegistry:
         for name in registry.scenario_names():
             for quick in (False, True):
                 spec = registry.scenario(name, quick=quick)
-                assert isinstance(spec, ScenarioSpec)
+                assert isinstance(spec, (ScenarioSpec, GeneralScenarioSpec))
                 assert spec.num_configs > 0
                 assert registry.scenario_description(name)
 
@@ -31,7 +31,12 @@ class TestRegistry:
         for name in registry.scenario_names():
             quick = registry.scenario(name, quick=True)
             full = registry.scenario(name, quick=False)
-            assert max(quick.ns) <= max(full.ns)
+            if isinstance(quick, ScenarioSpec):
+                assert max(quick.ns) <= max(full.ns)
+            else:
+                assert max(g.num_nodes for _, g in quick.graphs) <= max(
+                    g.num_nodes for _, g in full.graphs
+                )
             assert quick.num_configs <= full.num_configs
 
     def test_unknown_scenario(self):
@@ -64,6 +69,45 @@ class TestRegistry:
         assert spec.repetitions >= 5
         placements = {family.placement for family in spec.families}
         assert placements == {"all_on_one", "equally_spaced"}
+
+    def test_general_speedup_registered(self):
+        assert "general_speedup" in registry.scenario_names()
+
+    def test_general_speedup_runs_quick_with_baseline(self):
+        spec = registry.scenario("general_speedup", quick=True)
+        assert 1 in spec.ks
+        result = run_sweep(spec)
+        from repro.analysis.cover_time import rotor_cover_time_general
+
+        for cell in result.results:
+            assert cell.config.model == "rotor-general"
+            assert cell.metrics["cover"] >= 0
+        # Spot-check one cell against the serial reference harness.
+        sample = result.results[0].config
+        graph = dict(spec.graphs)[sample.placement]
+        assert result.results[0].metrics["cover"] == (
+            rotor_cover_time_general(
+                graph, list(sample.agents), list(sample.ports),
+                sample.max_rounds,
+            )
+        )
+
+    def test_general_speedup_cli_caches(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["sweep", "general_speedup", "--quick", "--cache", cache_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speed-up S(k)" in out  # aggregate view joins k=1 baselines
+        expected = registry.scenario(
+            "general_speedup", quick=True
+        ).num_configs
+        assert f"computed={expected} cached=0" in out
+        assert main(
+            ["sweep", "general_speedup", "--quick", "--cache", cache_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"computed=0 cached={expected}" in out
 
     def test_speedup_runs_quick_with_baseline(self):
         spec = registry.scenario("speedup", quick=True)
