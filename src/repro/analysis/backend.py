@@ -44,6 +44,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.randomwalk.cover import CoverEstimate
 from repro.randomwalk.visits import GapStatistics
 from repro.sweep.cells import (
@@ -303,21 +304,33 @@ class MeasurementPlan:
             return self.stats
         started = time.perf_counter()
         cells = list(self._cells.values())
-        if self.backend == "reference":
-            self._results = {
-                cell.config_hash: _reference_metrics(cell) for cell in cells
-            }
-            cached: set[str] = set()
-        else:
-            from repro.sweep.executor import DEFAULT_CHUNK_LANES, run_cells
+        with obs.span(
+            "plan.execute", backend=self.backend, cells=len(cells)
+        ):
+            if self.backend == "reference":
+                self._results = {
+                    cell.config_hash: _reference_metrics(cell)
+                    for cell in cells
+                }
+                cached: set[str] = set()
+            else:
+                from repro.sweep.executor import (
+                    DEFAULT_CHUNK_LANES,
+                    run_cells,
+                )
 
-            self._results, cached = run_cells(
-                cells,
-                jobs=self.jobs,
-                cache_dir=self.cache_dir,
-                progress=self.progress,
-                chunk_lanes=self.chunk_lanes or DEFAULT_CHUNK_LANES,
-            )
+                self._results, cached = run_cells(
+                    cells,
+                    jobs=self.jobs,
+                    cache_dir=self.cache_dir,
+                    progress=self.progress,
+                    chunk_lanes=self.chunk_lanes or DEFAULT_CHUNK_LANES,
+                )
+        obs.count_many({
+            "plan.cells": len(cells),
+            "plan.computed": len(cells) - len(cached),
+            "plan.cached": len(cached),
+        })
         self._stats = BackendStats(
             backend=self.backend,
             computed=len(cells) - len(cached),

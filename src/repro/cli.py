@@ -25,6 +25,12 @@ scenario through the batched kernel and the parallel executor; results
 land in an on-disk JSON cache (default ``.sweep-cache``), so repeating
 or resuming a sweep only computes the missing cells.  Both commands
 end with a one-line ``computed=X cached=Y`` accounting.
+
+``--trace PATH`` (on ``run``/``all``/``sweep``) records a
+:mod:`repro.obs` manifest — executor spans, kernel counters, cache
+traffic, per-worker time — without changing any result; ``python -m
+repro stats PATH`` renders it as per-phase, cache and per-kernel
+tables.
 """
 
 from __future__ import annotations
@@ -173,12 +179,12 @@ def _cmd_sweep(
 ) -> int:
     from repro.sweep import registry
     from repro.sweep.aggregate import summary_tables
-    from repro.sweep.executor import run_sweep, stderr_progress
+    from repro.sweep.executor import StderrProgress, run_sweep
 
     # Unknown names are rejected at the argparse layer in main().
     spec = registry.scenario(name, quick=quick)
     result = run_sweep(
-        spec, jobs=jobs, cache_dir=cache_dir, progress=stderr_progress,
+        spec, jobs=jobs, cache_dir=cache_dir, progress=StderrProgress(),
         chunk_lanes=chunk_lanes,
     )
     report = Report(
@@ -223,6 +229,21 @@ def _cmd_all(
             status, _cmd_run(name, csv_dir, backend, quick, jobs, cache_dir)
         )
     return status
+
+
+def _cmd_stats(path: str) -> int:
+    from repro.obs import load_manifest, render_stats
+
+    try:
+        manifest = load_manifest(path)
+    except OSError as exc:
+        print(f"cannot read manifest: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"invalid manifest {path!r}: {exc}", file=sys.stderr)
+        return 2
+    print(render_stats(manifest, path=path))
+    return 0
 
 
 def _positive_int_argument(what: str) -> Callable[[str], int]:
@@ -287,6 +308,11 @@ def main(argv: list[str] | None = None) -> int:
             help="measurement result cache for the batch backend "
             f"(default: {DEFAULT_SWEEP_CACHE}); 'none' disables caching",
         )
+        exp_parser.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="record a telemetry manifest at PATH (inspect with "
+            "'stats'); results are unaffected",
+        )
     sweep_parser = sub.add_parser(
         "sweep", help="run a registered sweep scenario (cached, parallel)"
     )
@@ -313,18 +339,22 @@ def main(argv: list[str] | None = None) -> int:
     sweep_parser.add_argument(
         "--csv", metavar="DIR", default=None, help="also save CSV tables"
     )
+    sweep_parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a telemetry manifest at PATH (inspect with "
+        "'stats'); results are unaffected",
+    )
+    stats_parser = sub.add_parser(
+        "stats", help="inspect a telemetry manifest written by --trace"
+    )
+    stats_parser.add_argument(
+        "path", help="manifest path (the --trace argument of the run)"
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(
-            args.name,
-            args.csv,
-            backend=args.backend,
-            quick=args.quick,
-            jobs=args.jobs,
-            cache_dir=None if args.cache == "none" else args.cache,
-        )
+    if args.command == "stats":
+        return _cmd_stats(args.path)
     if args.command == "sweep":
         from repro.sweep import registry
 
@@ -335,18 +365,46 @@ def main(argv: list[str] | None = None) -> int:
                 f"unknown sweep scenario {args.name!r}; known: "
                 + ", ".join(registry.scenario_names())
             )
+
+    def dispatch() -> int:
         cache_dir = None if args.cache == "none" else args.cache
-        return _cmd_sweep(
-            args.name, args.jobs, cache_dir, args.quick, args.csv,
-            args.chunk_lanes,
+        if args.command == "run":
+            return _cmd_run(
+                args.name,
+                args.csv,
+                backend=args.backend,
+                quick=args.quick,
+                jobs=args.jobs,
+                cache_dir=cache_dir,
+            )
+        if args.command == "sweep":
+            return _cmd_sweep(
+                args.name, args.jobs, cache_dir, args.quick, args.csv,
+                args.chunk_lanes,
+            )
+        return _cmd_all(
+            args.csv,
+            backend=args.backend,
+            quick=args.quick,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
         )
-    return _cmd_all(
-        args.csv,
-        backend=args.backend,
-        quick=args.quick,
-        jobs=args.jobs,
-        cache_dir=None if args.cache == "none" else args.cache,
-    )
+
+    if not args.trace:
+        return dispatch()
+    from repro.obs import trace_session
+
+    meta = {"command": args.command}
+    if getattr(args, "name", None):
+        meta["name"] = args.name
+    # The session wraps the whole command: the executor checkpoints at
+    # every run_cells exit and the exit handler writes the final merge.
+    with trace_session(args.trace, meta=meta) as session:
+        status = dispatch()
+    # Stdout stays bit-identical with and without --trace; the notice
+    # goes to stderr like the progress line.
+    print(f"wrote trace manifest {session.path}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,52 @@
+"""``repro.obs``: low-overhead telemetry for the sweep stack.
+
+Three layers, documented in their modules:
+
+* :mod:`repro.obs.telemetry` — the ambient :class:`Telemetry` context
+  (hierarchical spans, monotonic counters) and the guarded-emission
+  contract that keeps disabled-path overhead to one attribute check;
+* :mod:`repro.obs.manifest` — :class:`TraceSession`, per-worker JSONL
+  shards and the deterministic merge into a schema-versioned run
+  manifest;
+* :mod:`repro.obs.stats` — the ``repro stats`` table renderer.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    TraceSession,
+    append_shard,
+    current_session,
+    load_manifest,
+    shard_path,
+    trace_session,
+    traced_chunk,
+    write_manifest,
+)
+from repro.obs.stats import render_stats
+from repro.obs.telemetry import (
+    Telemetry,
+    active,
+    count,
+    count_many,
+    set_active,
+    span,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "Telemetry",
+    "TraceSession",
+    "active",
+    "append_shard",
+    "count",
+    "count_many",
+    "current_session",
+    "load_manifest",
+    "render_stats",
+    "set_active",
+    "shard_path",
+    "span",
+    "trace_session",
+    "traced_chunk",
+    "write_manifest",
+]

@@ -1,0 +1,133 @@
+"""Telemetry core: hierarchical spans and monotonic counters.
+
+One :class:`Telemetry` instance collects everything a process (or one
+worker chunk) observes: named integer counters and wall/CPU-timed
+spans whose names nest by ``/`` (``chunk[3]/compute``).  An instance
+becomes *ambient* through :func:`set_active`; instrumented code asks
+:func:`active` for it and records only when one is installed.
+
+The disabled-path contract — pinned by
+``benchmarks/bench_obs_overhead.py`` — is that instrumentation costs
+one module-global read per guarded site when telemetry is off::
+
+    tel = active()
+    if tel is not None:
+        tel.count_many({...})
+
+Kernels therefore accumulate their per-round tallies in plain local
+ints (cheap against any vectorized round) and emit them through one
+guarded call per invocation; per-round code never touches telemetry
+objects.  Span timing shares one :class:`repro.util.timing.Stopwatch`
+per context: consecutive :meth:`~repro.util.timing.Stopwatch.split`
+readings give start offsets and durations on a single clock.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+from repro.util.timing import Stopwatch
+
+_ACTIVE: "Telemetry | None" = None
+
+
+def active() -> "Telemetry | None":
+    """The ambient :class:`Telemetry`, or None when telemetry is off.
+
+    This is the whole disabled-path cost of a guarded recording site.
+    """
+    return _ACTIVE
+
+
+def set_active(telemetry: "Telemetry | None") -> "Telemetry | None":
+    """Install the ambient telemetry context; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = telemetry
+    return previous
+
+
+@contextmanager
+def span(name: str, **attrs) -> Iterator[dict | None]:
+    """Span on the ambient telemetry; a no-op when telemetry is off.
+
+    For cold control-flow paths (executor stages, plan execution)
+    where the convenience outweighs the extra call.
+    """
+    tel = _ACTIVE
+    if tel is None:
+        yield None
+    else:
+        with tel.span(name, **attrs) as record:
+            yield record
+
+
+def count(name: str, value: int = 1) -> None:
+    """Counter bump on the ambient telemetry; no-op when off."""
+    tel = _ACTIVE
+    if tel is not None:
+        tel.count(name, value)
+
+
+def count_many(counters: Mapping[str, int]) -> None:
+    """Bulk counter merge on the ambient telemetry; no-op when off."""
+    tel = _ACTIVE
+    if tel is not None:
+        tel.count_many(counters)
+
+
+class Telemetry:
+    """Span and counter sink for one process or worker chunk.
+
+    Counters merge monotonically (addition only); spans record their
+    qualified name, start offset on the instance's clock, wall
+    duration and CPU (``time.process_time``) duration, plus any
+    JSON-serializable attributes the call site attaches.
+    """
+
+    __slots__ = ("counters", "spans", "_stack", "_clock")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.spans: list[dict] = []
+        self._stack: list[str] = []
+        self._clock = Stopwatch().start()
+
+    def count(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def count_many(self, counters: Mapping[str, int]) -> None:
+        own = self.counters
+        for name, value in counters.items():
+            own[name] = own.get(name, 0) + int(value)
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[dict]:
+        """Time a block; nested spans qualify their names with ``/``."""
+        record: dict = {"name": "/".join(self._stack + [name])}
+        if attrs:
+            record["attrs"] = dict(attrs)
+        self._stack.append(name)
+        start = self._clock.split()
+        cpu_start = time.process_time()
+        try:
+            yield record
+        finally:
+            self._stack.pop()
+            record["start"] = start
+            record["wall"] = self._clock.split() - start
+            record["cpu"] = time.process_time() - cpu_start
+            self.spans.append(record)
+
+    def events(self) -> list[dict]:
+        """Snapshot as JSON-ready shard events: spans, then counters."""
+        events: list[dict] = [
+            {"event": "span", **record} for record in self.spans
+        ]
+        if self.counters:
+            events.append(
+                {"event": "counters", "counters": dict(self.counters)}
+            )
+        return events

@@ -52,6 +52,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.graphs.base import GraphCSR
+from repro.obs.telemetry import active as _telemetry
 
 #: Scalar-finisher crossover: once the occupied-pair count (a proxy for
 #: both lane count and per-round numpy work) drops to this, remaining
@@ -221,6 +222,10 @@ class BatchGeneralKernel:
             max(max_pairs, int(self._cnt.sum())) + 1, dtype=np.int64
         )
         self.round = 0
+        self._vector_rounds = 0
+        self._pair_rounds = 0
+        self._scalar_lanes = 0
+        self._scalar_rounds = 0
         if not self._active.all():
             self._drop_resolved()
 
@@ -245,6 +250,8 @@ class BatchGeneralKernel:
         """One exact synchronous round over every occupied pair."""
         s = self._occ
         c = self._cnt
+        self._vector_rounds += 1
+        self._pair_rounds += s.size
         deg = self._deg_s[s]
         p = self._ptr[s]
         if c.max() == 1:
@@ -320,6 +327,7 @@ class BatchGeneralKernel:
             )
         )
         rounds = self.round
+        self._scalar_lanes += 1
         cover = -1
         if len(occupied) == 1 and unvisited:
             # Single-agent ultratail: the dominant case (k = 1 lanes
@@ -388,6 +396,7 @@ class BatchGeneralKernel:
             occupied.values(), dtype=np.int64, count=len(occupied)
         )[order]
         self._frozen[lane] = (nodes, values)
+        self._scalar_rounds += rounds - self.round
         self.cover_rounds[lane] = cover if unvisited == 0 else -1
         self._active[lane] = False
 
@@ -424,6 +433,19 @@ class BatchGeneralKernel:
             raise RuntimeError(
                 f"{truncated} lanes not covered within their budgets"
             )
+        tel = _telemetry()
+        if tel is not None:
+            covered = int((self.cover_rounds >= 0).sum())
+            tel.count_many({
+                "general.invocations": 1,
+                "general.lanes": self.num_lanes,
+                "general.vector_rounds": self._vector_rounds,
+                "general.pair_rounds": self._pair_rounds,
+                "general.scalar_lanes": self._scalar_lanes,
+                "general.scalar_rounds": self._scalar_rounds,
+                "general.lanes_covered": covered,
+                "general.lanes_truncated": self.num_lanes - covered,
+            })
         return self.cover_rounds.copy()
 
     # ------------------------------------------------------------------

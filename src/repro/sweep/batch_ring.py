@@ -59,6 +59,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.telemetry import active as _telemetry
 from repro.util.rng import derive_seed
 
 _DTYPE_LIMITS = ((np.int8, 126), (np.int16, 32766), (np.int64, 2**62))
@@ -130,6 +131,7 @@ class BatchRingKernel:
         self.num_lanes = directions.shape[0]
         self.num_agents = per_lane.astype(np.int64)
         self.round = 0
+        self._replays = 0
 
         dtype = _counts_dtype(int(per_lane.max()))
         # Pointer bit: 1 = clockwise (+1), 0 = anticlockwise (-1).
@@ -300,6 +302,7 @@ class BatchRingKernel:
         window: int,
     ) -> None:
         """Re-run ``lanes`` from the snapshot to stamp exact cover rounds."""
+        self._replays += int(lanes.size)
         sub = object.__new__(BatchRingKernel)
         sub.n = self.n
         sub.num_lanes = len(lanes)
@@ -348,6 +351,18 @@ class BatchRingKernel:
                 f"{uncovered} of {self.num_lanes} lanes not covered "
                 f"within {max_rounds} rounds"
             )
+        tel = _telemetry()
+        if tel is not None:
+            covered = int((self.cover_rounds >= 0).sum())
+            tel.count_many({
+                "ring.invocations": 1,
+                "ring.lanes": self.num_lanes,
+                "ring.rounds": self.round,
+                "ring.lane_rounds": self.num_lanes * self.round,
+                "ring.cover_replays": self._replays,
+                "ring.lanes_covered": covered,
+                "ring.lanes_truncated": self.num_lanes - covered,
+            })
         return self.cover_rounds.copy()
 
     # ------------------------------------------------------------------
@@ -670,6 +685,7 @@ def _brent_periods(
     strict: bool,
     fingerprint: _Fingerprinter,
     compact_ratio: float,
+    stats: dict | None = None,
 ) -> np.ndarray:
     """Phase 1 of Brent's search: per-lane minimal periods (or -1).
 
@@ -705,6 +721,9 @@ def _brent_periods(
         if hit.any():
             rows = np.flatnonzero(hit)
             confirmed = rows[block.rows_equal(snapshot, rows)]
+            if stats is not None:
+                stats["fp_hits"] += int(rows.size)
+                stats["fp_confirmed"] += int(confirmed.size)
             if confirmed.size:
                 periods[orig[confirmed]] = steps - snap_step
                 alive[confirmed] = False
@@ -730,6 +749,10 @@ def _brent_periods(
             snap_fp = snap_fp[keep]
             orig = orig[keep]
             alive = np.ones(num_alive, dtype=bool)
+            if stats is not None:
+                stats["compactions"] += 1
+    if stats is not None:
+        stats["rounds"] += steps
     if num_alive and strict:
         raise RuntimeError(
             f"{num_alive} lanes have no limit cycle confirmed "
@@ -745,6 +768,7 @@ def _brent_preperiods(
     max_rounds: int,
     fingerprint: _Fingerprinter,
     compact_ratio: float,
+    stats: dict | None = None,
 ) -> np.ndarray:
     """Phase 2: preperiods via synchronized tortoise/hare walkers.
 
@@ -782,6 +806,9 @@ def _brent_preperiods(
         if cand.any():
             rows = np.flatnonzero(cand)
             confirmed = rows[block.halves_equal(pairs, rows)]
+            if stats is not None:
+                stats["fp_hits"] += int(rows.size)
+                stats["fp_confirmed"] += int(confirmed.size)
             if confirmed.size:
                 preperiods[orig[confirmed]] = rounds
                 alive[confirmed] = False
@@ -792,7 +819,11 @@ def _brent_preperiods(
                     orig = orig[keep]
                     pairs = keep.size
                     alive = np.ones(pairs, dtype=bool)
+                    if stats is not None:
+                        stats["compactions"] += 1
         if not num_alive:
+            if stats is not None:
+                stats["rounds"] += rounds
             break
         if rounds >= max_rounds:
             raise RuntimeError(
@@ -841,14 +872,33 @@ def batch_limit_cycles(
         seed._counts.dtype.itemsize
     ) // 8
     fingerprint = _Fingerprinter(words, words, weights=_fingerprint_weights)
+    tel = _telemetry()
+    stats = (
+        None
+        if tel is None
+        else {"rounds": 0, "fp_hits": 0, "fp_confirmed": 0, "compactions": 0}
+    )
     periods = _brent_periods(
         seed._ptr, seed._counts, max_rounds, strict, fingerprint,
-        compact_ratio,
+        compact_ratio, stats,
     )
     preperiods = _brent_preperiods(
         seed._ptr, seed._counts, periods, max_rounds, fingerprint,
-        compact_ratio,
+        compact_ratio, stats,
     )
+    if tel is not None:
+        resolved = int((periods > 0).sum())
+        tel.count_many({
+            "limit.invocations": 1,
+            "limit.lanes": seed.num_lanes,
+            "limit.rounds": stats["rounds"],
+            "limit.fp_hits": stats["fp_hits"],
+            "limit.fp_confirmed": stats["fp_confirmed"],
+            "limit.fp_collisions": stats["fp_hits"] - stats["fp_confirmed"],
+            "limit.compactions": stats["compactions"],
+            "limit.lanes_resolved": resolved,
+            "limit.lanes_truncated": seed.num_lanes - resolved,
+        })
     return BatchLimitCycles(preperiods=preperiods, periods=periods)
 
 
@@ -952,4 +1002,14 @@ def batch_return_gaps(
     best = np.empty(num_lanes)
     worst[order] = gaps.max(axis=1)
     best[order] = gaps.min(axis=1)
+    tel = _telemetry()
+    if tel is not None:
+        tel.count_many({
+            "gaps.invocations": 1,
+            "gaps.lanes": num_lanes,
+            "gaps.rounds": longest,
+            # Row-rounds actually stepped: the preperiod advance plus
+            # one period per lane, both on shrinking sorted prefixes.
+            "gaps.lane_rounds": int(preperiods.sum() + periods.sum()),
+        })
     return worst, best

@@ -36,6 +36,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.telemetry import active as _telemetry
 from repro.util.rng import make_rng
 
 #: Default rounds per block; must match
@@ -83,6 +84,8 @@ class BatchRingWalks:
         self.block_size = block_size
         self.num_lanes = len(lanes)
         self.round = 0
+        self._blocks = 0
+        self._lane_rounds = 0
 
         self._rngs = [make_rng(lane.seed) for lane in lanes]
         self._positions: list[np.ndarray] = []
@@ -191,6 +194,8 @@ class BatchRingWalks:
             self._positions[b] = last[offset:offset + width].copy()
             offset += width
         self.round += block
+        self._blocks += 1
+        self._lane_rounds += block * len(active)
 
     def _uncovered(self) -> np.ndarray:
         return np.flatnonzero(self.cover_rounds < 0)
@@ -229,6 +234,19 @@ class BatchRingWalks:
             block = min(self.block_size, max_rounds - self.round)
             self._advance_block(active, block)
             active = self._uncovered()
+        tel = _telemetry()
+        if tel is not None:
+            covered = int((self.cover_rounds >= 0).sum())
+            tel.count_many({
+                "walk.invocations": 1,
+                "walk.lanes": self.num_lanes,
+                "walk.walkers": sum(p.size for p in self._positions),
+                "walk.rounds": self.round,
+                "walk.blocks": self._blocks,
+                "walk.lane_rounds": self._lane_rounds,
+                "walk.lanes_covered": covered,
+                "walk.lanes_truncated": self.num_lanes - covered,
+            })
         return self.cover_rounds.copy()
 
     # ------------------------------------------------------------------

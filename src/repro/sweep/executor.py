@@ -34,11 +34,13 @@ import multiprocessing
 import os
 import sys
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Sequence, TextIO
 
 import numpy as np
 
+from repro import obs
 from repro.sweep.batch_ring import (
     DEFAULT_COMPACT_RATIO,
     BatchLimitCycles,
@@ -53,6 +55,7 @@ from repro.sweep.cells import cell_from_dict
 from repro.sweep.spec import ScenarioSpec, SweepConfig
 from repro.util.stats import normal_ci, summarize
 from repro.util.tables import Table
+from repro.util.timing import Stopwatch
 
 #: Lanes per kernel invocation: large enough to amortize numpy
 #: dispatch, small enough to keep many chunks in flight per worker.
@@ -100,16 +103,33 @@ class ResultCache:
         Unreadable or mismatched entries count as misses (and are
         recomputed) rather than failing the sweep.
         """
+        return self.lookup(config)[0]
+
+    def lookup(self, config: SweepConfig) -> tuple[dict | None, str]:
+        """Cached metrics plus a probe status: hit, miss or corrupt.
+
+        ``corrupt`` covers unreadable files, malformed JSON, identity
+        mismatches and bad metric payloads — all recomputed exactly
+        like misses, but telemetry counts them separately so cache rot
+        is visible instead of silently re-simulated.
+        """
         path = self.path(config.config_hash)
         try:
             with open(path) as handle:
                 entry = json.load(handle)
+        except FileNotFoundError:
+            return None, "miss"
         except (OSError, ValueError):
-            return None
-        if entry.get("config") != config.identity():
-            return None
+            return None, "corrupt"
+        if (
+            not isinstance(entry, dict)
+            or entry.get("config") != config.identity()
+        ):
+            return None, "corrupt"
         metrics = entry.get("metrics")
-        return metrics if isinstance(metrics, dict) else None
+        if not isinstance(metrics, dict):
+            return None, "corrupt"
+        return metrics, "hit"
 
     def put(self, config: SweepConfig, metrics: dict) -> str:
         path = self.path(config.config_hash)
@@ -202,7 +222,20 @@ def compute_chunk(payload: dict) -> list[tuple[str, dict]]:
     the model, ring size, round budget, metric list and the cells'
     dict forms.  Returns ``(config_hash, metrics)`` pairs in chunk
     order.
+
+    When the payload carries a ``trace`` stanza (added by
+    :func:`run_cells` under an active :func:`repro.obs.trace_session`),
+    the chunk runs under a fresh worker telemetry context whose spans
+    and kernel counters land in this process's shard file.
     """
+    trace = payload.get("trace")
+    if trace is not None:
+        return obs.traced_chunk(trace, _dispatch_chunk, payload)
+    return _dispatch_chunk(payload)
+
+
+def _dispatch_chunk(payload: dict) -> list[tuple[str, dict]]:
+    """Model dispatch of :func:`compute_chunk` (sans telemetry)."""
     if payload["model"] == "walk":
         if "gaps" in payload["metrics"]:
             return _compute_gaps_chunk(payload)
@@ -340,6 +373,7 @@ def _compute_rotor_covers_serial(
     """
     from repro.core.ring import RingRotorRouter
 
+    obs.count("ring.serial_cells", len(configs))
     out: list[tuple[str, dict]] = []
     for config in configs:
         agents, directions = config.build()
@@ -425,6 +459,7 @@ def _compute_general_serial(cells: list) -> list[tuple[str, dict]]:
     from repro.core.engine import MultiAgentRotorRouter
     from repro.graphs.base import PortLabeledGraph
 
+    obs.count("general.serial_cells", len(cells))
     out: list[tuple[str, dict]] = []
     graph = None
     graph_ports = None
@@ -551,10 +586,81 @@ def _slice_chunks(
     return chunks
 
 
-def stderr_progress(done: int, total: int) -> None:
-    """Default progress reporter: one status line on stderr."""
-    end = "\n" if done == total else "\r"
-    print(f"sweep: {done}/{total} configurations", file=sys.stderr, end=end)
+class StderrProgress:
+    """Progress reporter with elapsed time, rate and ETA.
+
+    On a TTY the status line rewrites in place (``\\r``) and ends with
+    a newline at completion; on a non-TTY stream (CI logs, pipes) it
+    emits plain newline-terminated lines at most every ``interval``
+    seconds — plus the first and final updates — so logs stay clean.
+
+    The rate counts configurations completed since the first call of a
+    sweep, which excludes the initial cache-hit jump: the ETA reflects
+    actual compute throughput, not cache reads.  An instance resets
+    itself when ``total`` changes, ``done`` regresses, or a sweep
+    completes, so one instance serves consecutive sweeps.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        interval: float = 5.0,
+        tty: bool | None = None,
+    ) -> None:
+        self.stream = stream
+        self.interval = interval
+        self.tty = tty
+        self._reset()
+
+    def _reset(self) -> None:
+        self._watch: Stopwatch | None = None
+        self._total: int | None = None
+        self._last_done = 0
+        self._baseline = 0
+        self._last_emit: float | None = None
+
+    def __call__(self, done: int, total: int) -> None:
+        stream = self.stream if self.stream is not None else sys.stderr
+        if (
+            self._watch is None
+            or total != self._total
+            or done < self._last_done
+        ):
+            self._reset()
+            self._watch = Stopwatch().start()
+            self._total = total
+            self._baseline = done
+        self._last_done = done
+        elapsed = self._watch.split()
+        line = f"sweep: {done}/{total} configurations elapsed={elapsed:.1f}s"
+        computed = done - self._baseline
+        if computed > 0 and elapsed > 0:
+            rate = computed / elapsed
+            line += f" rate={rate:.1f}/s"
+            if done < total:
+                line += f" eta={(total - done) / rate:.0f}s"
+        final = done >= total
+        tty = (
+            self.tty
+            if self.tty is not None
+            else bool(getattr(stream, "isatty", lambda: False)())
+        )
+        if tty:
+            print(line, file=stream, end="\n" if final else "\r", flush=True)
+        elif (
+            final
+            or self._last_emit is None
+            or elapsed - self._last_emit >= self.interval
+        ):
+            print(line, file=stream, flush=True)
+            self._last_emit = elapsed
+        if final:
+            self._reset()
+
+
+#: Default progress reporter: one shared auto-resetting instance, so
+#: existing ``progress=stderr_progress`` call sites keep working.
+stderr_progress = StderrProgress()
 
 
 def run_cells(
@@ -588,43 +694,79 @@ def run_cells(
         )
     _check_compact_ratio(compact_ratio)
     cache = ResultCache(cache_dir) if cache_dir else None
+    session = obs.current_session()
     total = len({cell.config_hash for cell in cells})
 
     metrics_by_hash: dict[str, dict] = {}
     cached_hashes: set[str] = set()
     misses: list = []
     seen: set[str] = set()
-    for cell in cells:
-        if cell.config_hash in seen:
-            continue
-        seen.add(cell.config_hash)
-        entry = cache.get(cell) if cache is not None else None
-        if entry is not None:
-            metrics_by_hash[cell.config_hash] = entry
-            cached_hashes.add(cell.config_hash)
-        else:
-            misses.append(cell)
+    hits = probe_misses = corrupt = 0
+    with obs.span("cache.get", cells=total, enabled=cache is not None):
+        for cell in cells:
+            if cell.config_hash in seen:
+                continue
+            seen.add(cell.config_hash)
+            if cache is not None:
+                entry, status = cache.lookup(cell)
+                if status == "hit":
+                    hits += 1
+                elif status == "corrupt":
+                    corrupt += 1
+                else:
+                    probe_misses += 1
+            else:
+                entry = None
+            if entry is not None:
+                metrics_by_hash[cell.config_hash] = entry
+                cached_hashes.add(cell.config_hash)
+            else:
+                misses.append(cell)
+    if cache is not None:
+        obs.count_many({
+            "cache.hits": hits,
+            "cache.misses": probe_misses,
+            "cache.corrupt": corrupt,
+        })
     done = total - len(misses)
     if progress:
         progress(done, total)
 
     by_hash = {cell.config_hash: cell for cell in misses}
-    payloads = _plan_chunks(
-        misses, chunk_lanes, walk_chunk_walkers, compact_ratio, jobs
-    )
+    with obs.span("plan", misses=len(misses)):
+        payloads = _plan_chunks(
+            misses, chunk_lanes, walk_chunk_walkers, compact_ratio, jobs
+        )
+    if session is not None:
+        for payload in payloads:
+            payload["trace"] = session.next_chunk_trace()
+    obs.count_many({
+        "executor.chunks": len(payloads),
+        "executor.cells": total,
+        "executor.cells_computed": len(misses),
+        "executor.cells_cached": len(cached_hashes),
+    })
     if payloads:
-        if jobs > 1:
-            with multiprocessing.Pool(processes=jobs) as pool:
-                chunk_results = pool.imap_unordered(compute_chunk, payloads)
+        with obs.span("aggregate", chunks=len(payloads)):
+            if jobs > 1:
+                with multiprocessing.Pool(processes=jobs) as pool:
+                    chunk_results = pool.imap_unordered(
+                        compute_chunk, payloads
+                    )
+                    _collect(
+                        chunk_results, metrics_by_hash, by_hash, cache,
+                        done, total, progress,
+                    )
+            else:
                 _collect(
-                    chunk_results, metrics_by_hash, by_hash, cache,
-                    done, total, progress,
+                    map(compute_chunk, payloads), metrics_by_hash, by_hash,
+                    cache, done, total, progress,
                 )
-        else:
-            _collect(
-                map(compute_chunk, payloads), metrics_by_hash, by_hash,
-                cache, done, total, progress,
-            )
+    if session is not None:
+        # Crash-safe: every run_cells exit folds all shards written so
+        # far into the manifest, so multi-experiment runs keep their
+        # trace even if a later experiment dies.
+        session.checkpoint()
     return metrics_by_hash, cached_hashes
 
 
@@ -703,11 +845,18 @@ def _collect(
     progress: ProgressFn | None,
 ) -> int:
     for pairs in chunk_results:
-        for config_hash, metrics in pairs:
-            metrics_by_hash[config_hash] = metrics
-            if cache is not None:
-                cache.put(by_hash[config_hash], metrics)
-            done += 1
+        put_span = (
+            obs.span("cache.put", cells=len(pairs))
+            if cache is not None
+            else nullcontext()
+        )
+        with put_span:
+            for config_hash, metrics in pairs:
+                metrics_by_hash[config_hash] = metrics
+                if cache is not None:
+                    cache.put(by_hash[config_hash], metrics)
+                    obs.count("cache.puts")
+                done += 1
         if progress:
             progress(done, total)
     return done

@@ -20,11 +20,27 @@ class Stopwatch:
     elapsed: float = 0.0
     _started_at: float | None = field(default=None, repr=False)
 
+    @property
+    def running(self) -> bool:
+        """Whether an interval is currently being timed."""
+        return self._started_at is not None
+
     def start(self) -> "Stopwatch":
         if self._started_at is not None:
             raise RuntimeError("stopwatch already running")
         self._started_at = time.perf_counter()
         return self
+
+    def split(self) -> float:
+        """Lap reading: ``elapsed`` plus the in-flight interval.
+
+        Unlike :meth:`stop`, the stopwatch keeps running; span
+        implementations use consecutive splits as start/end offsets on
+        one shared clock.
+        """
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        return self.elapsed + (time.perf_counter() - self._started_at)
 
     def stop(self) -> float:
         if self._started_at is None:

@@ -1,0 +1,172 @@
+"""Tests for repro.obs.telemetry and the StderrProgress reporter."""
+
+import io
+
+import pytest
+
+from repro.obs import telemetry
+from repro.obs.telemetry import Telemetry
+from repro.sweep.executor import StderrProgress
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_telemetry():
+    """Keep the module-global context clean across tests."""
+    previous = telemetry.set_active(None)
+    yield
+    telemetry.set_active(previous)
+
+
+class TestTelemetry:
+    def test_counters_merge_monotonically(self):
+        tel = Telemetry()
+        tel.count("ring.rounds", 5)
+        tel.count("ring.rounds", 7)
+        tel.count("ring.lanes")
+        tel.count_many({"ring.rounds": 3, "cache.hits": 2})
+        assert tel.counters == {
+            "ring.rounds": 15,
+            "ring.lanes": 1,
+            "cache.hits": 2,
+        }
+
+    def test_span_nesting_qualifies_names(self):
+        tel = Telemetry()
+        with tel.span("chunk[0]", cells=4):
+            with tel.span("compute"):
+                pass
+        names = [record["name"] for record in tel.spans]
+        # Inner spans close (and append) first.
+        assert names == ["chunk[0]/compute", "chunk[0]"]
+        outer = tel.spans[1]
+        assert outer["attrs"] == {"cells": 4}
+        for record in tel.spans:
+            assert record["wall"] >= 0.0
+            assert record["start"] >= 0.0
+        # The inner span starts no earlier and is no longer than the outer.
+        inner = tel.spans[0]
+        assert inner["start"] >= outer["start"]
+        assert inner["wall"] <= outer["wall"] + 1e-9
+
+    def test_span_recorded_on_exception(self):
+        tel = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tel.span("boom"):
+                raise RuntimeError("kernel died")
+        assert [record["name"] for record in tel.spans] == ["boom"]
+
+    def test_events_snapshot(self):
+        tel = Telemetry()
+        with tel.span("plan"):
+            pass
+        tel.count("cache.hits", 3)
+        events = tel.events()
+        assert [event["event"] for event in events] == ["span", "counters"]
+        assert events[0]["name"] == "plan"
+        assert events[1]["counters"] == {"cache.hits": 3}
+
+    def test_events_without_counters_has_no_counters_event(self):
+        tel = Telemetry()
+        with tel.span("plan"):
+            pass
+        assert all(event["event"] == "span" for event in tel.events())
+
+
+class TestAmbientContext:
+    def test_set_active_returns_previous(self):
+        first = Telemetry()
+        second = Telemetry()
+        assert telemetry.set_active(first) is None
+        assert telemetry.set_active(second) is first
+        assert telemetry.active() is second
+        telemetry.set_active(None)
+        assert telemetry.active() is None
+
+    def test_module_helpers_are_noops_when_disabled(self):
+        assert telemetry.active() is None
+        telemetry.count("ring.rounds", 5)
+        telemetry.count_many({"ring.lanes": 2})
+        with telemetry.span("plan") as record:
+            assert record is None
+
+    def test_module_helpers_record_when_enabled(self):
+        tel = Telemetry()
+        telemetry.set_active(tel)
+        telemetry.count("ring.rounds", 5)
+        telemetry.count_many({"ring.lanes": 2})
+        with telemetry.span("plan", cells=3) as record:
+            assert record is not None
+        assert tel.counters == {"ring.rounds": 5, "ring.lanes": 2}
+        assert tel.spans[0]["name"] == "plan"
+        assert tel.spans[0]["attrs"] == {"cells": 3}
+
+
+class TestStderrProgress:
+    def test_non_tty_emits_plain_lines(self):
+        stream = io.StringIO()
+        progress = StderrProgress(stream=stream, interval=1000.0, tty=False)
+        progress(0, 4)
+        progress(1, 4)  # throttled: inside the interval, not final
+        progress(4, 4)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2  # first + final only
+        assert "\r" not in stream.getvalue()
+        assert lines[0].startswith("sweep: 0/4 configurations elapsed=")
+        assert lines[1].startswith("sweep: 4/4 configurations elapsed=")
+
+    def test_non_tty_zero_interval_emits_every_update(self):
+        stream = io.StringIO()
+        progress = StderrProgress(stream=stream, interval=0.0, tty=False)
+        for done in range(5):
+            progress(done, 4)
+        assert len(stream.getvalue().splitlines()) == 5
+
+    def test_tty_rewrites_in_place_and_finishes_with_newline(self):
+        stream = io.StringIO()
+        progress = StderrProgress(stream=stream, tty=True)
+        progress(1, 3)
+        progress(2, 3)
+        progress(3, 3)
+        text = stream.getvalue()
+        assert text.count("\r") == 2  # intermediate updates rewrite in place
+        assert text.count("\n") == 1
+        assert text.endswith("\n")  # the final update closes the line
+
+    def test_rate_excludes_cache_hit_baseline(self):
+        stream = io.StringIO()
+        progress = StderrProgress(stream=stream, interval=0.0, tty=False)
+        # First call reports a big cache-hit jump; it sets the baseline,
+        # so no rate can be computed yet.
+        progress(90, 100)
+        first = stream.getvalue().splitlines()[-1]
+        assert "rate=" not in first
+        progress(95, 100)
+        line = stream.getvalue().splitlines()[-1]
+        assert "rate=" in line
+        assert "eta=" in line
+
+    def test_final_line_has_no_eta(self):
+        stream = io.StringIO()
+        progress = StderrProgress(stream=stream, interval=0.0, tty=False)
+        progress(0, 2)
+        progress(2, 2)
+        final = stream.getvalue().splitlines()[-1]
+        assert "eta=" not in final
+
+    def test_resets_between_sweeps(self):
+        stream = io.StringIO()
+        progress = StderrProgress(stream=stream, interval=1000.0, tty=False)
+        progress(0, 2)
+        progress(2, 2)  # completes and resets
+        progress(0, 3)  # new sweep: emits again despite the interval
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 3
+        assert lines[-1].startswith("sweep: 0/3 ")
+
+    def test_resets_when_total_changes_mid_stream(self):
+        stream = io.StringIO()
+        progress = StderrProgress(stream=stream, interval=1000.0, tty=False)
+        progress(0, 2)
+        progress(1, 5)  # different total: treated as a fresh sweep
+        lines = stream.getvalue().splitlines()
+        assert lines[-1].startswith("sweep: 1/5 ")

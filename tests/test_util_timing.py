@@ -30,3 +30,34 @@ class TestStopwatch:
             pass
         watch.reset()
         assert watch.elapsed == 0.0
+
+    def test_running_property(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+    def test_split_requires_running(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().split()
+
+    def test_split_is_monotonic_and_keeps_running(self):
+        watch = Stopwatch().start()
+        first = watch.split()
+        second = watch.split()
+        assert 0.0 <= first <= second
+        assert watch.running
+        # split includes the in-flight interval, so the final stop
+        # reading can only be larger.
+        watch.stop()
+        assert watch.elapsed >= second
+
+    def test_split_includes_prior_intervals(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        banked = watch.elapsed
+        watch.start()
+        assert watch.split() >= banked
