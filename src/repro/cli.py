@@ -11,6 +11,8 @@ console script)::
     python -m repro all --quick          # everything, scaled down
     python -m repro sweep table1 --jobs 4     # declarative cached sweep
     python -m repro sweep stabilization --quick --cache out/cache
+    python -m repro lint src/repro       # determinism static analysis
+    python -m repro lint --update-lock   # re-pin cache_identity.lock
 
 ``run`` is a thin dispatcher over :mod:`repro.experiments`; every
 experiment module's ``run_*`` defaults define its "full size".  The
@@ -31,6 +33,12 @@ end with a one-line ``computed=X cached=Y`` accounting.
 traffic, per-worker time — without changing any result; ``python -m
 repro stats PATH`` renders it as per-phase, cache and per-kernel
 tables.
+
+``python -m repro lint [PATHS]`` runs the determinism &
+cache-identity static analysis of :mod:`repro.lint` (rules D001–D003,
+T001 and the I001 ``cache_identity.lock`` check) over the source tree;
+``--update-lock`` re-pins the identity lockfile after an intentional
+schema change.  Exit status 1 means non-suppressed findings.
 """
 
 from __future__ import annotations
@@ -314,7 +322,10 @@ def main(argv: list[str] | None = None) -> int:
             "'stats'); results are unaffected",
         )
     sweep_parser = sub.add_parser(
-        "sweep", help="run a registered sweep scenario (cached, parallel)"
+        "sweep", help="run a registered sweep scenario (cached, parallel)",
+        description="Run a registered sweep scenario through the batched "
+        "kernels and the on-disk result cache.  Cache identities are "
+        "schema-versioned and guarded by `repro lint` (rule I001).",
     )
     sweep_parser.add_argument("name", help="scenario name (see 'list')")
     sweep_parser.add_argument(
@@ -345,16 +356,34 @@ def main(argv: list[str] | None = None) -> int:
         "'stats'); results are unaffected",
     )
     stats_parser = sub.add_parser(
-        "stats", help="inspect a telemetry manifest written by --trace"
+        "stats", help="inspect a telemetry manifest written by --trace",
+        description="Render the per-phase, cache, kernel and worker "
+        "tables of a --trace manifest.  (Static-analysis counterpart: "
+        "`repro lint` checks the code these numbers come from.)",
     )
     stats_parser.add_argument(
         "path", help="manifest path (the --trace argument of the run)"
     )
+    lint_parser = sub.add_parser(
+        "lint",
+        help="determinism & cache-identity static analysis",
+        description="Run the repro.lint rule set (unseeded randomness, "
+        "nondeterministic ordering, identity pollution, kernel "
+        "telemetry guards, cache-identity lockfile) over the source "
+        "tree.  Exits 1 on non-suppressed findings, 2 on usage errors.",
+    )
+    from repro.lint.cli import configure_parser as _configure_lint
+
+    _configure_lint(lint_parser)
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "stats":
         return _cmd_stats(args.path)
+    if args.command == "lint":
+        from repro.lint.cli import run_from_args as _run_lint_args
+
+        return _run_lint_args(args)
     if args.command == "sweep":
         from repro.sweep import registry
 

@@ -1,0 +1,61 @@
+"""``repro.lint``: determinism & cache-identity static analysis.
+
+The repo stakes correctness on reproducibility in three load-bearing
+places: SHA-256 cell identities gating the on-disk result cache,
+bit-identical batch-vs-reference assertions, and the Brent fingerprint
+pipeline whose packed-state hashing is only sound if state packing is
+reproducible.  This package turns the invariants those depend on into
+machine-checked rules over the stdlib :mod:`ast` — no third-party
+dependencies, so it runs anywhere the repo does.
+
+The rule catalogue (see :mod:`repro.lint.determinism` and
+:mod:`repro.lint.lockfile` for the fine print):
+
+* **D001** — unseeded randomness (legacy ``np.random.*`` globals, bare
+  stdlib ``random.*``, ``default_rng()`` with no seed) outside
+  test/benchmark fixtures;
+* **D002** — nondeterministic ordering (iterating ``set`` /
+  ``frozenset`` values, unsorted ``os.listdir`` / ``glob`` /
+  ``Path.iterdir`` results) in ``sweep/`` and ``obs/`` modules, whose
+  outputs feed hashes, chunk plans and manifest merges;
+* **D003** — wall-clock / pid / ``id()`` / builtin-``hash()`` values
+  inside identity-producing functions (``identity``, ``to_dict``,
+  anything named ``*hash*`` / ``*digest*``);
+* **T001** — telemetry calls in kernel modules (``sweep/batch_*.py``)
+  must sit behind the one-module-global-read ``active()`` guard;
+* **I001** — cache-identity drift: the checked-in
+  ``cache_identity.lock`` manifest records the exact field sets behind
+  every schema-versioned identity; changing them without a version
+  bump (or without regenerating the lock via ``--update-lock``) fails.
+
+Findings are suppressed line-by-line with ``# repro: noqa[CODE]``
+pragmas (a justification comment is expected next to each one).  The
+CLI surface is ``python -m repro lint [PATHS] [--format text|json]
+[--select CODES] [--update-lock]``.
+"""
+
+from repro.lint.engine import LintReport, iter_python_files, run_lint
+from repro.lint.findings import Finding
+from repro.lint.lockfile import (
+    DEFAULT_LOCK_NAME,
+    LOCK_SCHEMA_VERSION,
+    read_lock,
+    write_lock,
+)
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import all_rules, get_rule
+
+__all__ = [
+    "DEFAULT_LOCK_NAME",
+    "Finding",
+    "LOCK_SCHEMA_VERSION",
+    "LintReport",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "read_lock",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "write_lock",
+]

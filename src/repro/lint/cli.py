@@ -1,0 +1,79 @@
+"""The ``repro lint`` subcommand: argparse wiring over the engine.
+
+Exit codes follow the CLI's existing conventions: 0 for a clean run,
+1 when non-suppressed findings remain, 2 for usage errors (unknown
+codes, missing paths — argparse itself already exits 2 on bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.engine import run_lint
+from repro.lint.lockfile import DEFAULT_LOCK_NAME
+from repro.lint.reporters import render_json, render_text
+
+#: Default lint target: the package source tree when run from the
+#: repo root (the CI invocation), else the current directory.
+DEFAULT_TARGET = "src/repro"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to an (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint "
+        f"(default: {DEFAULT_TARGET} if present, else .)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text); CI stores the json form "
+        "as an artifact",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (e.g. D001,I001); "
+        "default: all rules",
+    )
+    parser.add_argument(
+        "--lock", metavar="PATH", default=DEFAULT_LOCK_NAME,
+        help="cache-identity lockfile for the I001 check "
+        f"(default: {DEFAULT_LOCK_NAME})",
+    )
+    parser.add_argument(
+        "--update-lock", action="store_true",
+        help="regenerate the cache-identity lockfile from the current "
+        "identity surfaces instead of checking against it",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit status."""
+    import os
+
+    paths = list(args.paths)
+    if not paths:
+        paths = [DEFAULT_TARGET if os.path.isdir(DEFAULT_TARGET) else "."]
+    select = None
+    if args.select is not None:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+        if not select:
+            print("--select needs at least one code", file=sys.stderr)
+            return 2
+    try:
+        report = run_lint(
+            paths,
+            select=select,
+            lock_path=args.lock,
+            update_lock=args.update_lock,
+        )
+    except FileNotFoundError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(report))
+    return report.exit_code

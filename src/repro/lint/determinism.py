@@ -1,0 +1,337 @@
+"""The determinism rules: D001–D003 and T001.
+
+Each rule targets a bug class this repo has actually shipped (and
+fixed) by hand — see the per-rule docstrings.  They are deliberately
+syntactic: an AST pass cannot prove dataflow, so each rule trades a
+little precision for zero dependencies and total predictability, and
+the ``# repro: noqa[CODE]`` pragma (with a justification) is the
+escape hatch for the sites the heuristic gets wrong.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import (
+    ModuleContext,
+    Rule,
+    in_packages,
+    is_kernel_module,
+    is_test_path,
+    register,
+)
+
+#: Consumers that erase iteration order, so an unordered producer
+#: directly inside one of them is harmless.
+_ORDER_SAFE_WRAPPERS = frozenset(
+    {"sorted", "set", "frozenset", "len", "sum", "min", "max", "any", "all"}
+)
+
+#: Stdlib ``random`` module functions drawing from the hidden global
+#: Mersenne Twister state (unseeded unless someone called
+#: ``random.seed`` — which no library code may rely on).
+_STDLIB_RANDOM_FNS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+})
+
+#: ``numpy.random`` attributes that are *not* the legacy global-state
+#: API: constructing these is fine (seededness of the constructors is
+#: checked separately).
+_NUMPY_RNG_CONSTRUCTORS = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: Constructors that take the seed as their first argument (or a
+#: ``seed=`` keyword) and are nondeterministic without one.
+_SEED_FIRST_ARG = frozenset({
+    "numpy.random.default_rng", "numpy.random.RandomState",
+    "random.Random",
+})
+
+#: Wall-clock / process-identity / interpreter-identity sources that
+#: must never reach an identity or cached-result payload.
+_NONDET_SOURCES = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "os.getpid", "os.getppid", "os.urandom",
+    "uuid.uuid1", "uuid.uuid4", "secrets.token_hex",
+    "secrets.token_bytes", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.date.today",
+})
+
+#: Function names that mark a def as identity-producing.  Dunders are
+#: exempt (``__hash__`` is Python's in-process protocol, never
+#: persisted).
+_IDENTITY_EXACT = frozenset({"to_dict", "cache_key"})
+_IDENTITY_SUBSTRINGS = ("identity", "hash", "digest")
+
+#: The telemetry conveniences kernels must not call per-site (each one
+#: is a function call + module-global read; the kernel contract is one
+#: hoisted ``active()`` read per invocation).
+_TELEMETRY_CONVENIENCES = frozenset({
+    "repro.obs.count", "repro.obs.count_many", "repro.obs.span",
+    "repro.obs.telemetry.count", "repro.obs.telemetry.count_many",
+    "repro.obs.telemetry.span",
+})
+_TELEMETRY_ACTIVE = frozenset({"repro.obs.active", "repro.obs.telemetry.active"})
+
+
+def _call_nodes(context: ModuleContext) -> Iterator[ast.Call]:
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _first_seed_argument(call: ast.Call) -> ast.expr | None:
+    """The seed argument of an RNG constructor call, if any."""
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "seed":
+            return keyword.value
+    return None
+
+
+@register
+class UnseededRandomness(Rule):
+    """D001 — randomness with no reproducible seed.
+
+    Flags the legacy ``numpy.random.*`` global-state API, bare stdlib
+    ``random.*`` calls, and RNG constructors (``default_rng``,
+    ``RandomState``, ``random.Random``) invoked with no seed (or an
+    explicit ``None``).  A constructor receiving *any* expression is
+    accepted — seed plumbing is the caller's concern and
+    :func:`repro.util.rng.derive_seed` chains are common.  Test and
+    benchmark fixtures are exempt by path.
+    """
+
+    code = "D001"
+    summary = "unseeded randomness outside test/bench fixtures"
+
+    def applies_to(self, path: str) -> bool:
+        return not is_test_path(path)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for call in _call_nodes(context):
+            dotted = context.dotted_name(call.func)
+            if dotted is None:
+                continue
+            if dotted in _SEED_FIRST_ARG:
+                seed = _first_seed_argument(call)
+                if seed is None or (
+                    isinstance(seed, ast.Constant) and seed.value is None
+                ):
+                    yield self.finding(
+                        context, call,
+                        f"{dotted}() without a seed is nondeterministic; "
+                        "pass an explicit seed (e.g. via "
+                        "repro.util.rng.derive_seed)",
+                    )
+                continue
+            if dotted.startswith("numpy.random."):
+                attr = dotted.rsplit(".", 1)[1]
+                if attr not in _NUMPY_RNG_CONSTRUCTORS:
+                    yield self.finding(
+                        context, call,
+                        f"legacy global-state RNG {dotted}(); use a "
+                        "seeded numpy.random.default_rng Generator",
+                    )
+                continue
+            if dotted == "random.SystemRandom":
+                yield self.finding(
+                    context, call,
+                    "random.SystemRandom is nondeterministic by design; "
+                    "use a seeded generator",
+                )
+                continue
+            if (
+                dotted.startswith("random.")
+                and dotted.rsplit(".", 1)[1] in _STDLIB_RANDOM_FNS
+            ):
+                yield self.finding(
+                    context, call,
+                    f"stdlib {dotted}() draws from hidden global RNG "
+                    "state; use a seeded generator",
+                )
+
+
+@register
+class NondeterministicOrdering(Rule):
+    """D002 — iteration order that varies between runs or processes.
+
+    Scoped to ``sweep/`` and ``obs/`` packages, whose iteration orders
+    feed config hashes, chunk plans and manifest merges.  Two shapes:
+    iterating a ``set``/``frozenset`` value (hash-order, perturbed by
+    ``PYTHONHASHSEED`` for strings), and consuming ``os.listdir`` /
+    ``os.scandir`` / ``glob.*`` / ``Path.iterdir``/``glob``/``rglob``
+    results without an order-erasing wrapper (``sorted``, ``len``,
+    ``set``, …) in the same expression.
+    """
+
+    code = "D002"
+    summary = "nondeterministic ordering in hash/merge-feeding modules"
+
+    _LISTING_FNS = frozenset({
+        "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+    })
+    _LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+    def applies_to(self, path: str) -> bool:
+        return in_packages(path, frozenset({"sweep", "obs"})) and (
+            not is_test_path(path)
+        )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            for generator in getattr(node, "generators", []):
+                iters.append(generator.iter)
+            for it in iters:
+                if isinstance(it, (ast.Set, ast.SetComp)) or (
+                    isinstance(it, ast.Call)
+                    and isinstance(it.func, ast.Name)
+                    and it.func.id in ("set", "frozenset")
+                ):
+                    yield self.finding(
+                        context, it,
+                        "iterating a set has nondeterministic order in a "
+                        "hash/merge-feeding module; sort it first",
+                    )
+        for call in _call_nodes(context):
+            dotted = context.dotted_name(call.func)
+            listing = dotted in self._LISTING_FNS or (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in self._LISTING_METHODS
+                and dotted not in self._LISTING_FNS
+            )
+            if not listing:
+                continue
+            if context.wrapped_by_call(call, _ORDER_SAFE_WRAPPERS):
+                continue
+            name = dotted or call.func.attr  # type: ignore[union-attr]
+            yield self.finding(
+                context, call,
+                f"{name}() returns entries in filesystem order; wrap the "
+                "call in sorted() (or another order-erasing consumer) "
+                "before use",
+            )
+
+
+@register
+class NondeterminismIntoIdentity(Rule):
+    """D003 — run-varying values inside identity-producing functions.
+
+    A function named ``identity``/``to_dict``/``cache_key`` or
+    containing ``hash``/``digest``/``identity`` (dunders exempt) is
+    treated as producing a cache identity or cached payload; inside
+    one, wall clocks, pids, ``uuid``s, ``os.urandom``, builtin
+    ``id()`` and builtin ``hash()`` (salted per-process via
+    ``PYTHONHASHSEED``) are all findings: any of them silently forks
+    the cache key space between runs.
+    """
+
+    code = "D003"
+    summary = "wall-clock/pid/id()/hash() flowing into identities"
+
+    def applies_to(self, path: str) -> bool:
+        return not is_test_path(path)
+
+    def _identity_function(self, name: str) -> bool:
+        if name.startswith("__") and name.endswith("__"):
+            return False
+        return name in _IDENTITY_EXACT or any(
+            part in name for part in _IDENTITY_SUBSTRINGS
+        )
+
+    def _inside_identity_def(
+        self, context: ModuleContext, node: ast.AST
+    ) -> bool:
+        return any(
+            isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and self._identity_function(anc.name)
+            for anc in context.ancestors(node)
+        )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for call in _call_nodes(context):
+            dotted = context.dotted_name(call.func)
+            builtin = (
+                isinstance(call.func, ast.Name)
+                and call.func.id in ("id", "hash")
+                and call.func.id not in context.imports
+            )
+            if dotted not in _NONDET_SOURCES and not builtin:
+                continue
+            if not self._inside_identity_def(context, call):
+                continue
+            name = dotted or f"builtin {call.func.id}"  # type: ignore[union-attr]
+            detail = (
+                "is salted per-process (PYTHONHASHSEED)"
+                if builtin and call.func.id == "hash"  # type: ignore[union-attr]
+                else "varies between runs/processes"
+            )
+            yield self.finding(
+                context, call,
+                f"{name}() {detail} and must not flow into an "
+                "identity-producing function; derive identities from "
+                "explicit, stable inputs",
+            )
+
+
+@register
+class UnguardedKernelTelemetry(Rule):
+    """T001 — telemetry in kernels must use the hoisted-guard pattern.
+
+    The disabled-path contract of :mod:`repro.obs.telemetry` (pinned by
+    ``benchmarks/bench_obs_overhead.py``) is one module-global read per
+    guarded site::
+
+        tel = active()
+        if tel is not None:
+            tel.count_many({...})
+
+    In kernel modules (``sweep/batch_*.py``), the per-call convenience
+    helpers (``obs.count`` / ``count_many`` / ``span``) and inline
+    ``active().count(...)`` chains defeat that contract — each call
+    pays a function call on the hot path even when telemetry is off.
+    """
+
+    code = "T001"
+    summary = "unguarded telemetry call in a kernel module"
+
+    def applies_to(self, path: str) -> bool:
+        return is_kernel_module(path)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for call in _call_nodes(context):
+            dotted = context.dotted_name(call.func)
+            if dotted in _TELEMETRY_CONVENIENCES:
+                yield self.finding(
+                    context, call,
+                    f"kernel modules must not call {dotted}() per site; "
+                    "hoist `tel = active()` once per invocation and "
+                    "guard with `if tel is not None`",
+                )
+                continue
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in ("count", "count_many", "span")
+                and isinstance(call.func.value, ast.Call)
+                and context.dotted_name(call.func.value.func)
+                in _TELEMETRY_ACTIVE
+            ):
+                yield self.finding(
+                    context, call,
+                    "inline active().%s(...) re-reads the telemetry "
+                    "global per call; hoist `tel = active()` and guard "
+                    "with `if tel is not None`" % call.func.attr,
+                )

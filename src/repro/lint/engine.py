@@ -1,0 +1,136 @@
+"""The lint engine: file discovery, rule dispatch, suppression.
+
+``run_lint`` is the whole programmatic surface: resolve the requested
+paths to a deterministic Python file list, parse each file once, run
+every selected file rule that applies to it, partition raw findings
+into failing vs pragma-suppressed, then run the repo-level I001
+lockfile check (or regenerate the lock under ``update_lock=True``).
+The CLI in :mod:`repro.lint.cli` is a thin argparse shell over this.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from repro.lint import lockfile as _lockfile
+from repro.lint.findings import Finding
+from repro.lint.pragmas import is_suppressed, suppressions
+from repro.lint.rules import ModuleContext, all_rules, known_codes
+
+#: Code attached to files the parser rejects; not a registered rule
+#: (it cannot be selected away or suppressed — an unparseable file
+#: can't be checked at all).
+PARSE_ERROR_CODE = "E001"
+
+
+@dataclass
+class LintReport:
+    """Everything one ``run_lint`` invocation produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: list[str] = field(default_factory=list)
+    lock_path: str | None = None
+    lock_written: bool = False
+
+    @property
+    def exit_code(self) -> int:
+        """CLI convention: 1 when any non-suppressed finding remains."""
+        return 1 if self.findings else 0
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted, de-duplicated .py list.
+
+    Directory walks sort both subdirectories and filenames, so the
+    schedule (and therefore report order) is identical across
+    filesystems — the linter clears its own D002 bar.
+    """
+    found: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            found.add(os.path.normpath(path))
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        found.add(os.path.normpath(os.path.join(dirpath, name)))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+    return sorted(found)
+
+
+def _select_codes(select: list[str] | None) -> frozenset[str]:
+    known = known_codes() | {_lockfile._CODE}
+    if select is None:
+        return known
+    requested = frozenset(select)
+    unknown = requested - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s) {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return requested
+
+
+def run_lint(
+    paths: list[str],
+    select: list[str] | None = None,
+    lock_path: str | None = None,
+    update_lock: bool = False,
+) -> LintReport:
+    """Lint ``paths`` and return a :class:`LintReport`.
+
+    ``select`` restricts to the named rule codes (default: all);
+    ``lock_path`` locates the I001 cache-identity lockfile (default:
+    ``cache_identity.lock`` in the working directory); ``update_lock``
+    regenerates that lock from the current identity surfaces instead
+    of checking against it.
+    """
+    selected = _select_codes(select)
+    if lock_path is None:
+        lock_path = _lockfile.DEFAULT_LOCK_NAME
+    report = LintReport(lock_path=lock_path)
+    report.files = iter_python_files(paths)
+    rules = [rule for rule in all_rules() if rule.code in selected]
+    parsed: list[tuple[str, ast.Module]] = []
+    for path in report.files:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    code=PARSE_ERROR_CODE,
+                    message=f"cannot parse file: {exc.msg}",
+                )
+            )
+            continue
+        parsed.append((path, tree))
+        context = ModuleContext(path, source, tree)
+        pragma_table = suppressions(source)
+        for rule in rules:
+            if not rule.applies_to(path):
+                continue
+            for finding in rule.check(context):
+                if is_suppressed(pragma_table, finding.line, finding.code):
+                    report.suppressed.append(finding)
+                else:
+                    report.findings.append(finding)
+    if _lockfile._CODE in selected:
+        surfaces = _lockfile.project_surfaces(parsed, lock_path)
+        if update_lock:
+            _lockfile.write_lock(surfaces, lock_path)
+            report.lock_written = True
+        else:
+            report.findings.extend(_lockfile.check_lock(surfaces, lock_path))
+    report.findings.sort()
+    report.suppressed.sort()
+    return report

@@ -1,0 +1,36 @@
+"""The one currency every checker deals in: :class:`Finding`.
+
+A finding pins a rule code to an exact ``path:line:col`` location with
+a human-readable message.  Findings order by location then code, so
+reports are deterministic whatever order rules ran in — the linter has
+to clear its own D002 bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The classic compiler-style one-liner."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``--format json`` reporter payload)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

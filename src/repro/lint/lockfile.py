@@ -1,0 +1,327 @@
+"""I001 — the cache-identity lockfile check.
+
+Every on-disk cache entry in this repo is keyed by a SHA-256 over a
+canonical ``identity()`` dict, and every identity dict embeds a schema
+version (``SCHEMA_VERSION`` in :mod:`repro.sweep.spec`,
+``CELL_SCHEMA_VERSION`` in :mod:`repro.sweep.cells`) so stale entries
+from older code are never served.  The failure mode that versioning
+cannot catch by itself is the *silent* kind: a field is added to (or
+dropped from) an identity dict, the version is left alone, and every
+previously cached cell now hashes differently — or worse, the same —
+without anyone deciding that on purpose.  PRs 2 and 5 each bumped a
+schema version by hand exactly because of this.
+
+``cache_identity.lock`` pins the machine-extracted identity surface:
+for every linted module that defines a ``*SCHEMA_VERSION`` constant or
+a class with an ``identity()`` method returning a dict literal, the
+lock records the schema-version values, each class's identity key set,
+and its dataclass field names.  The I001 check re-extracts the surface
+from source and demands that any drift from the lock comes paired with
+a schema-version bump *and* a lockfile regeneration (``python -m repro
+lint --update-lock``) — turning "did you mean to change cache
+identities?" into a failing check instead of a review comment.
+
+The lock lives next to the code it describes (repo root by default)
+and is committed; module keys inside it are paths relative to the
+lock's own directory, so the file is location-independent.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from typing import Iterable
+
+from repro.lint.findings import Finding
+
+#: Bump when the lockfile layout itself changes.
+LOCK_SCHEMA_VERSION = 1
+
+#: Conventional lockfile name, resolved against the working directory
+#: by the CLI (``--lock PATH`` overrides).
+DEFAULT_LOCK_NAME = "cache_identity.lock"
+
+_CODE = "I001"
+
+_VERSION_NAME = re.compile(r"SCHEMA_VERSION$")
+
+
+def _finding(path: str, line: int, message: str) -> Finding:
+    return Finding(path=path, line=line, col=1, code=_CODE, message=message)
+
+
+def _identity_keys(func: ast.FunctionDef) -> list[str] | None:
+    """The constant string keys of the dict literal ``func`` returns.
+
+    Identity methods in this repo return a single dict display; if a
+    future one builds its dict dynamically the extraction abstains
+    (returns None) rather than guessing.
+    """
+    returned: ast.Dict | None = None
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            if returned is not None:
+                return None  # multiple dict returns: abstain
+            returned = node.value
+    if returned is None:
+        return None
+    keys: list[str] = []
+    for key in returned.keys:
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        keys.append(key.value)
+    return sorted(keys)
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> list[str]:
+    """Annotated class-body names — the dataclass field surface."""
+    return sorted(
+        node.target.id
+        for node in cls.body
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name)
+    )
+
+
+def extract_surface(tree: ast.Module) -> dict | None:
+    """The identity surface of one module, or None if it has none.
+
+    Returns ``{"versions": {name: value}, "identities": {class:
+    {"keys": [...], "fields": [...]}}}``.  A class appears when it
+    defines an ``identity`` method whose returned dict literal could
+    be extracted; versions are module-level integer ``*SCHEMA_VERSION``
+    assignments.
+    """
+    versions: dict[str, int] = {}
+    identities: dict[str, dict] = {}
+    lines: dict[str, int] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and _VERSION_NAME.search(target.id)
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)
+                ):
+                    versions[target.id] = node.value.value
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name == "identity"
+                ):
+                    keys = _identity_keys(item)
+                    if keys is not None:
+                        identities[node.name] = {
+                            "keys": keys,
+                            "fields": _dataclass_fields(node),
+                        }
+                        lines[node.name] = node.lineno
+    if not versions and not identities:
+        return None
+    return {"versions": versions, "identities": identities, "lines": lines}
+
+
+def project_surfaces(
+    modules: Iterable[tuple[str, ast.Module]], lock_path: str
+) -> dict[str, dict]:
+    """Identity surfaces of all linted modules, keyed for the lock.
+
+    Keys are forward-slash paths relative to the lock's directory, so
+    the lockfile content does not depend on where the linter ran from.
+    """
+    base = os.path.dirname(os.path.abspath(lock_path)) or "."
+    surfaces: dict[str, dict] = {}
+    for path, tree in modules:
+        surface = extract_surface(tree)
+        if surface is None:
+            continue
+        key = os.path.relpath(os.path.abspath(path), base).replace(
+            os.sep, "/"
+        )
+        surfaces[key] = surface
+    return surfaces
+
+
+def _lock_payload(surfaces: dict[str, dict]) -> dict:
+    return {
+        "lock_schema": LOCK_SCHEMA_VERSION,
+        "modules": {
+            key: {
+                "versions": surface["versions"],
+                "identities": {
+                    name: {
+                        "keys": entry["keys"],
+                        "fields": entry["fields"],
+                    }
+                    for name, entry in sorted(
+                        surface["identities"].items()
+                    )
+                },
+            }
+            for key, surface in sorted(surfaces.items())
+        },
+    }
+
+
+def write_lock(surfaces: dict[str, dict], lock_path: str) -> str:
+    """Serialize ``surfaces`` to ``lock_path`` (sorted, stable JSON)."""
+    text = json.dumps(_lock_payload(surfaces), indent=2, sort_keys=True)
+    with open(lock_path, "w") as handle:
+        handle.write(text + "\n")
+    return lock_path
+
+
+def read_lock(lock_path: str) -> dict | None:
+    """The parsed lock, or None when absent.  ``ValueError`` on rot."""
+    try:
+        with open(lock_path) as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except ValueError as exc:
+        raise ValueError(f"unreadable lockfile {lock_path!r}: {exc}") from None
+    if (
+        not isinstance(data, dict)
+        or data.get("lock_schema") != LOCK_SCHEMA_VERSION
+        or not isinstance(data.get("modules"), dict)
+    ):
+        raise ValueError(
+            f"lockfile {lock_path!r} does not carry lock_schema "
+            f"{LOCK_SCHEMA_VERSION}"
+        )
+    return data
+
+
+_UPDATE_HINT = "run `python -m repro lint --update-lock` to re-pin"
+
+
+def check_lock(
+    surfaces: dict[str, dict], lock_path: str
+) -> list[Finding]:
+    """Compare current identity surfaces against the lockfile.
+
+    Every drift is an I001 finding; the message distinguishes the
+    dangerous case (identity fields changed with *no* schema-version
+    bump — the change is invisible to the version gate) from the
+    merely-stale case (version bumped, lock not regenerated).
+    """
+    if not surfaces:
+        return []
+    first = min(surfaces)
+    try:
+        lock = read_lock(lock_path)
+    except ValueError as exc:
+        return [_finding(lock_path, 1, f"{exc}; {_UPDATE_HINT}")]
+    if lock is None:
+        return [
+            _finding(
+                first, 1,
+                f"cache-identity lockfile {lock_path!r} is missing but "
+                f"{len(surfaces)} module(s) define identity surfaces; "
+                + _UPDATE_HINT,
+            )
+        ]
+    findings: list[Finding] = []
+    locked = lock["modules"]
+    for key in sorted(set(locked) - set(surfaces)):
+        findings.append(
+            _finding(
+                lock_path, 1,
+                f"lockfile records identity surfaces for {key!r}, which "
+                f"no longer defines any; {_UPDATE_HINT}",
+            )
+        )
+    for key in sorted(surfaces):
+        surface = surfaces[key]
+        if key not in locked:
+            findings.append(
+                _finding(
+                    key, 1,
+                    "module defines identity surfaces not recorded in "
+                    f"the lockfile; {_UPDATE_HINT}",
+                )
+            )
+            continue
+        entry = locked[key]
+        bumped = entry.get("versions", {}) != surface["versions"]
+        lines = surface.get("lines", {})
+        current = surface["identities"]
+        recorded = entry.get("identities", {})
+        drifted = False
+        for name in sorted(set(recorded) | set(current)):
+            line = lines.get(name, 1)
+            if name not in current:
+                drifted = True
+                findings.append(
+                    _finding(
+                        key, 1,
+                        f"identity class {name} was removed; {_UPDATE_HINT}",
+                    )
+                )
+                continue
+            if name not in recorded:
+                drifted = True
+                findings.append(
+                    _finding(
+                        key, line,
+                        f"identity class {name} is new and unrecorded; "
+                        + _UPDATE_HINT,
+                    )
+                )
+                continue
+            for aspect in ("keys", "fields"):
+                old = recorded[name].get(aspect, [])
+                new = current[name][aspect]
+                if old == new:
+                    continue
+                drifted = True
+                added = sorted(set(new) - set(old))
+                removed = sorted(set(old) - set(new))
+                delta = ", ".join(
+                    (["added " + "/".join(added)] if added else [])
+                    + (["removed " + "/".join(removed)] if removed else [])
+                )
+                what = (
+                    "identity keys" if aspect == "keys"
+                    else "dataclass fields"
+                )
+                if bumped:
+                    findings.append(
+                        _finding(
+                            key, line,
+                            f"{what} of {name} changed ({delta}) and the "
+                            f"schema version was bumped, but the lockfile "
+                            f"is stale; {_UPDATE_HINT}",
+                        )
+                    )
+                else:
+                    findings.append(
+                        _finding(
+                            key, line,
+                            f"{what} of {name} changed ({delta}) WITHOUT a "
+                            "schema-version bump: stale cache entries "
+                            "would be mis-keyed — bump the module's "
+                            f"schema version, then {_UPDATE_HINT}",
+                        )
+                    )
+        if bumped and not drifted:
+            old_versions = entry.get("versions", {})
+            delta = ", ".join(
+                f"{name}: {old_versions.get(name)} -> "
+                f"{surface['versions'].get(name)}"
+                for name in sorted(
+                    set(old_versions) | set(surface["versions"])
+                )
+                if old_versions.get(name) != surface["versions"].get(name)
+            )
+            findings.append(
+                _finding(
+                    key, 1,
+                    f"schema version changed ({delta}) but the lockfile "
+                    f"still records the old value; {_UPDATE_HINT}",
+                )
+            )
+    return findings

@@ -1,0 +1,45 @@
+"""``# repro: noqa[CODE]`` suppression pragmas.
+
+A finding is suppressed by putting the pragma on the *physical line it
+fires on* (typically as a trailing comment), naming the suppressed
+code explicitly::
+
+    names = os.listdir(path)  # repro: noqa[D002] sorted before use
+
+Several codes may share one pragma (``# repro: noqa[D001,D002]``).
+Blanket suppression — a bare ``noqa`` with no code list — is
+deliberately *not* supported: every suppression names what it hides,
+and the justification text after the bracket is where the "why"
+belongs.  Suppressed findings still surface in reports (separately
+from failing ones), so suppressions never rot invisibly.
+"""
+
+from __future__ import annotations
+
+import re
+
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*noqa\[\s*([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)\s*\]"
+)
+
+
+def suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the codes suppressed on that line."""
+    table: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "repro" not in line:  # cheap pre-filter for the common case
+            continue
+        match = _PRAGMA.search(line)
+        if match:
+            codes = frozenset(
+                code.strip() for code in match.group(1).split(",")
+            )
+            table[lineno] = codes
+    return table
+
+
+def is_suppressed(
+    table: dict[int, frozenset[str]], line: int, code: str
+) -> bool:
+    """Whether ``code`` is pragma-suppressed on ``line``."""
+    return code in table.get(line, frozenset())

@@ -1,0 +1,50 @@
+"""Report rendering: compiler-style text and machine-readable JSON.
+
+Both reporters consume one :class:`~repro.lint.engine.LintReport` and
+are deterministic for a given report (findings arrive pre-sorted).
+The JSON document is what CI uploads as an artifact, so its layout is
+versioned like every other serialized format in this repo.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+
+#: Bump when the JSON report layout changes.
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one line per finding, then a summary."""
+    lines = [finding.render() for finding in report.findings]
+    if report.suppressed:
+        lines.append(
+            "suppressed by `# repro: noqa[...]` pragmas "
+            f"({len(report.suppressed)}):"
+        )
+        lines.extend(
+            "  " + finding.render() for finding in report.suppressed
+        )
+    if report.lock_written:
+        lines.append(f"wrote cache-identity lockfile {report.lock_path}")
+    lines.append(
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.files)} file(s) checked"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The JSON report CI stores as an artifact."""
+    payload = {
+        "schema": REPORT_SCHEMA_VERSION,
+        "files_checked": len(report.files),
+        "lock_path": report.lock_path,
+        "lock_written": report.lock_written,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "suppressed": [finding.to_dict() for finding in report.suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,237 @@
+"""Checker framework: the rule registry and shared AST machinery.
+
+A rule is a subclass of :class:`Rule` registered under its code
+(``D001``, ``T001``, …).  Rules are *file rules*: ``check`` receives
+one parsed module at a time and yields :class:`~repro.lint.findings.
+Finding` objects.  Repo-level checks that need the whole file set
+(the I001 lockfile) live outside this registry, in
+:mod:`repro.lint.lockfile`, but share the same finding currency and
+pragma handling.
+
+The shared machinery here is what makes the individual rules small:
+
+* :class:`ModuleContext` — a parsed file plus a parent map (ancestor
+  walks for "is this call wrapped in ``sorted()``?") and an import
+  alias table (so ``import numpy as np`` / ``from repro.obs import
+  count as c`` resolve to canonical dotted names before matching);
+* path predicates (:func:`is_test_path`, :func:`in_packages`,
+  :func:`is_kernel_module`) that scope rules to the module families
+  the repo's invariants actually live in.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator
+
+from repro.lint.findings import Finding
+
+#: code -> rule instance.  Populated by :func:`register`; the rule
+#: modules are imported by :mod:`repro.lint.engine` so importing the
+#: engine is enough to see the full catalogue.
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+def register(rule_cls: type["Rule"]) -> type["Rule"]:
+    """Class decorator: instantiate and index a rule by its code."""
+    rule = rule_cls()
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code!r}")
+    _REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> list["Rule"]:
+    """Every registered rule, in code order."""
+    _load()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> "Rule":
+    _load()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule code {code!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def known_codes() -> frozenset[str]:
+    _load()
+    return frozenset(_REGISTRY)
+
+
+def _load() -> None:
+    # Import for the registration side effect; idempotent.
+    import repro.lint.determinism  # noqa: F401
+
+
+class Rule:
+    """One lint rule: a code, a summary, and a per-module check."""
+
+    code: str = ""
+    summary: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on ``path`` at all (default: yes)."""
+        return True
+
+    def check(self, context: "ModuleContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, context: "ModuleContext", node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+class ModuleContext:
+    """One parsed module plus the lookups every rule needs."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self._parents: dict[ast.AST, ast.AST] | None = None
+        self._imports: dict[str, str] | None = None
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """child node -> parent node, built lazily once per module."""
+        if self._parents is None:
+            table: dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    table[child] = parent
+            self._parents = table
+        return self._parents
+
+    @property
+    def imports(self) -> dict[str, str]:
+        """Local name -> canonical dotted module/object it was bound to.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from repro.obs
+        import count as c`` maps ``c -> repro.obs.count``.  Relative
+        imports keep their leading dots — the rules only match absolute
+        names, so relative bindings simply never match.
+        """
+        if self._imports is None:
+            table: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        local = alias.asname or alias.name.split(".")[0]
+                        target = (
+                            alias.name if alias.asname else
+                            alias.name.split(".")[0]
+                        )
+                        table[local] = target
+                elif isinstance(node, ast.ImportFrom):
+                    module = "." * node.level + (node.module or "")
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        table[local] = f"{module}.{alias.name}"
+            self._imports = table
+        return self._imports
+
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """Resolve a ``Name``/``Attribute`` chain to a canonical dotted
+        name through the import table, or None for anything dynamic.
+
+        ``np.random.seed`` resolves to ``numpy.random.seed``; a chain
+        whose base name is not an import binding resolves to the chain
+        as written (so ``random.random`` still matches when ``random``
+        is the conventional stdlib import).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.imports.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        parents = self.parents
+        while node in parents:
+            node = parents[node]
+            yield node
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The innermost function whose body contains ``node``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def wrapped_by_call(
+        self, node: ast.AST, names: frozenset[str]
+    ) -> bool:
+        """Whether ``node`` sits (at any depth) inside a call to one of
+        the builtins in ``names`` within its own statement.
+
+        ``sorted(os.listdir(d))`` and ``sorted(x for x in
+        os.listdir(d))`` both count; crossing a statement boundary
+        (assignments, returns) stops the walk — a later ``sorted()`` on
+        the stored value is invisible to a per-node check and needs a
+        restructure or a pragma.
+        """
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.stmt):
+                return False
+            if (
+                isinstance(ancestor, ast.Call)
+                and isinstance(ancestor.func, ast.Name)
+                and ancestor.func.id in names
+            ):
+                return True
+        return False
+
+
+def path_parts(path: str) -> tuple[str, ...]:
+    """Normalized path components (both separators handled)."""
+    return tuple(part for part in os.path.normpath(path).replace(
+        "\\", "/").split("/") if part not in ("", "."))
+
+
+def is_test_path(path: str) -> bool:
+    """Test/benchmark fixtures: exempt from the runtime-determinism
+    rules (they are allowed to roll dice however they like)."""
+    parts = path_parts(path)
+    name = parts[-1] if parts else ""
+    return (
+        "tests" in parts
+        or "benchmarks" in parts
+        or name.startswith("test_")
+        or name.startswith("bench_")
+        or name == "conftest.py"
+    )
+
+
+def in_packages(path: str, packages: frozenset[str]) -> bool:
+    """Whether ``path`` lies under one of the named package dirs."""
+    return any(part in packages for part in path_parts(path)[:-1])
+
+
+def is_kernel_module(path: str) -> bool:
+    """The batched kernels: ``batch_*.py`` under a ``sweep`` package."""
+    parts = path_parts(path)
+    return (
+        len(parts) >= 2
+        and "sweep" in parts[:-1]
+        and parts[-1].startswith("batch_")
+        and parts[-1].endswith(".py")
+    )

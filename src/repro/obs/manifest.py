@@ -151,7 +151,9 @@ def append_shard(shard_dir: str, run_id: str, events: list[dict]) -> str:
     return path
 
 
-def traced_chunk(trace: dict, fn: Callable[[dict], object], payload: dict):
+def traced_chunk(
+    trace: dict, fn: Callable[[dict], object], payload: dict
+) -> object:
     """Run one executor chunk under a fresh worker telemetry context.
 
     Wraps the work in ``chunk[i]`` / ``chunk[i]/compute`` spans, lets
@@ -175,11 +177,17 @@ def traced_chunk(trace: dict, fn: Callable[[dict], object], payload: dict):
 
 
 def _shard_names(shard_dir: str) -> list[str]:
+    """Shard files in ``shard_dir``, in sorted (merge) order.
+
+    The deterministic-merge guarantee leans on this order: worker
+    indices are positions in this list, so the listing is sorted at
+    the ``os.listdir`` call site (never returned raw).
+    """
     try:
-        names = os.listdir(shard_dir)
+        names = sorted(os.listdir(shard_dir))
     except OSError:
         return []
-    return sorted(name for name in names if name.endswith(_SHARD_SUFFIX))
+    return [name for name in names if name.endswith(_SHARD_SUFFIX)]
 
 
 def write_manifest(

@@ -39,7 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Any, Iterable, Mapping
 
 #: Bump when any explicit cell's identity layout or measurement
 #: semantics change, so stale cache entries are never served.
@@ -297,7 +297,12 @@ class GeneralRotorCell:
 
     @classmethod
     def from_graph(
-        cls, graph, agents, ports, max_rounds: int, **extra
+        cls,
+        graph: Any,
+        agents: Iterable[int],
+        ports: Iterable[int],
+        max_rounds: int,
+        **extra: Any,
     ) -> "GeneralRotorCell":
         """Build a cell over a :class:`PortLabeledGraph` without copies.
 
@@ -323,7 +328,7 @@ class GeneralRotorCell:
     def k(self) -> int:
         return len(self.agents)
 
-    def csr(self):
+    def csr(self) -> Any:
         """The graph's CSR packing (computed once per cell, shared by
         cells built through :meth:`from_graph` or a chunk graph table)."""
         cached = getattr(self, "_csr", None)
@@ -358,7 +363,7 @@ class GeneralRotorCell:
 
     @classmethod
     def from_dict(
-        cls, data: dict, graphs: Mapping[str, object] | None = None
+        cls, data: dict, graphs: Mapping[str, Any] | None = None
     ) -> "GeneralRotorCell":
         """Rebuild from the compact dict plus a digest-keyed graph table.
 
@@ -410,7 +415,7 @@ class LabeledGeneralRotorCell(GeneralRotorCell):
         return "random"
 
 
-_KINDS = {
+_KINDS: dict[str, Any] = {
     "rotor-cell": RotorCell,
     "walk-cover-cell": WalkCoverCell,
     "walk-gaps-cell": WalkGapsCell,
@@ -428,7 +433,9 @@ def _check_schema(data: dict, kind: str) -> None:
         )
 
 
-def cell_from_dict(data: dict, graphs: Mapping[str, object] | None = None):
+def cell_from_dict(
+    data: dict, graphs: Mapping[str, Any] | None = None
+) -> Any:
     """Rebuild any sweep cell from its dict form.
 
     Explicit cells carry a ``kind`` marker; dicts without one are

@@ -30,7 +30,7 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.core import placement as _placement
 from repro.core import pointers as _pointers
@@ -400,7 +400,9 @@ class ScenarioSpec:
         return len(self.configs())
 
 
-def general_instance(graph, k: int, seed: int) -> tuple[list[int], list[int]]:
+def general_instance(
+    graph: Any, k: int, seed: int
+) -> tuple[list[int], list[int]]:
     """The seeded ``(agents, ports)`` instance of one general-graph cell.
 
     One RNG stream draws the k agent positions first, then the pointer
@@ -433,7 +435,9 @@ class GeneralScenarioSpec:
     """
 
     name: str
-    graphs: tuple[tuple[str, object], ...]
+    #: ``(family name, PortLabeledGraph)`` pairs; duck-typed (the spec
+    #: only needs ``diameter()``/``num_edges``/``num_nodes``).
+    graphs: tuple[tuple[str, Any], ...]
     ks: tuple[int, ...]
     seeds: tuple[int, ...] = (0,)
     description: str = field(default="", compare=False)
@@ -453,13 +457,13 @@ class GeneralScenarioSpec:
         if not self.seeds:
             raise ValueError("at least one seed is required")
 
-    def budget(self, graph) -> int:
+    def budget(self, graph: Any) -> int:
         return 16 * graph.diameter() * graph.num_edges + 64
 
     def configs(self) -> list:
         from repro.sweep.cells import LabeledGeneralRotorCell
 
-        cells = []
+        cells: list[LabeledGeneralRotorCell] = []
         for family, graph in self.graphs:
             budget = self.budget(graph)
             for k in self.ks:

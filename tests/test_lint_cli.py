@@ -1,0 +1,140 @@
+"""CLI-level tests for ``repro lint``: exit codes, formats, dogfood.
+
+The dogfood test is the PR's acceptance criterion in executable form:
+the shipped tree lints clean against the committed
+``cache_identity.lock``, so any identity-surface drift in a future
+change fails this test until the schema version is bumped and the
+lock regenerated.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write_finding_fixture(tmp_path):
+    """A file with exactly one D001 finding."""
+    target = tmp_path / "model.py"
+    target.write_text(
+        "import numpy as np\n\nrng = np.random.default_rng()\n"
+    )
+    return target
+
+
+def write_clean_fixture(tmp_path):
+    target = tmp_path / "model.py"
+    target.write_text("def f(seed):\n    return seed + 1\n")
+    return target
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        target = write_clean_fixture(tmp_path)
+        lock = str(tmp_path / "lock")
+        assert main(["lint", str(target), "--lock", lock]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        target = write_finding_fixture(tmp_path)
+        assert main(["lint", str(target), "--select", "D001"]) == 1
+        out = capsys.readouterr().out
+        assert "D001" in out
+
+    def test_unknown_select_code_exits_two(self, tmp_path, capsys):
+        target = write_clean_fixture(tmp_path)
+        assert main(["lint", str(target), "--select", "Z999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_empty_select_exits_two(self, tmp_path, capsys):
+        target = write_clean_fixture(tmp_path)
+        assert main(["lint", str(target), "--select", " , "]) == 2
+        assert "at least one code" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestFormatsAndSelect:
+    def test_json_format_is_parseable(self, tmp_path, capsys):
+        target = write_finding_fixture(tmp_path)
+        status = main(
+            ["lint", str(target), "--select", "D001", "--format", "json"]
+        )
+        assert status == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["files_checked"] == 1
+        assert [f["code"] for f in payload["findings"]] == ["D001"]
+        assert payload["suppressed"] == []
+
+    def test_select_excludes_other_rules(self, tmp_path, capsys):
+        target = write_finding_fixture(tmp_path)
+        # D003 alone: the D001 site is not even checked
+        assert main(["lint", str(target), "--select", "D003"]) == 0
+        capsys.readouterr()
+
+    def test_update_lock_writes_and_reports(self, tmp_path, capsys):
+        target = tmp_path / "thing.py"
+        target.write_text(
+            "SCHEMA_VERSION = 1\n\n"
+            "class Thing:\n"
+            "    def identity(self):\n"
+            "        return {\"schema\": SCHEMA_VERSION}\n"
+        )
+        lock = str(tmp_path / "lock")
+        status = main(
+            ["lint", str(target), "--lock", lock, "--update-lock"]
+        )
+        assert status == 0
+        assert "wrote cache-identity lockfile" in capsys.readouterr().out
+        assert os.path.exists(lock)
+
+
+class TestDogfood:
+    def test_shipped_tree_lints_clean(self, capsys):
+        """Acceptance criterion: `repro lint src/repro` exits clean
+        against the committed lockfile."""
+        status = main(
+            [
+                "lint",
+                str(REPO_ROOT / "src" / "repro"),
+                "--lock",
+                str(REPO_ROOT / "cache_identity.lock"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0, out
+        assert "0 finding(s)" in out
+
+    def test_module_entry_point_smoke(self, tmp_path):
+        """`python -m repro lint` works end to end as a subprocess."""
+        target = write_clean_fixture(tmp_path)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "lint",
+                str(target), "--lock", str(tmp_path / "lock"),
+            ],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "0 finding(s)" in proc.stdout
+
+    def test_help_cross_references(self, capsys):
+        for sub in ("sweep", "stats"):
+            try:
+                main([sub, "--help"])
+            except SystemExit:
+                pass
+            # argparse re-wraps description text; normalize before matching
+            out = " ".join(capsys.readouterr().out.split())
+            assert "repro lint" in out

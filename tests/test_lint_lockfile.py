@@ -1,0 +1,185 @@
+"""Round-trip and drift tests for the I001 cache-identity lockfile.
+
+The scenarios mirror the workflow the check is designed to enforce:
+pin the surface, change an identity without bumping the schema version
+(the dangerous, silent case), bump without re-pinning (the stale
+case), and finally bump + re-pin (clean again).
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_LOCK_NAME,
+    LOCK_SCHEMA_VERSION,
+    read_lock,
+    run_lint,
+    write_lock,
+)
+
+MODULE = """
+SCHEMA_VERSION = {version}
+
+
+class Thing:
+    a: int
+    b: int
+
+    def identity(self):
+        return {{
+            "schema": SCHEMA_VERSION,
+            {keys}
+        }}
+"""
+
+
+def write_module(tmp_path, version=1, keys=('"a": self.a', '"b": self.b')):
+    target = tmp_path / "thing.py"
+    target.write_text(
+        textwrap.dedent(
+            MODULE.format(
+                version=version,
+                keys="\n            ".join(f"{key}," for key in keys),
+            )
+        )
+    )
+    return target
+
+
+def lint(tmp_path, update_lock=False):
+    return run_lint(
+        [str(tmp_path / "thing.py")],
+        select=["I001"],
+        lock_path=str(tmp_path / DEFAULT_LOCK_NAME),
+        update_lock=update_lock,
+    )
+
+
+class TestLockRoundTrip:
+    def test_missing_lock_is_a_finding(self, tmp_path):
+        write_module(tmp_path)
+        report = lint(tmp_path)
+        assert [f.code for f in report.findings] == ["I001"]
+        assert "missing" in report.findings[0].message
+        assert "--update-lock" in report.findings[0].message
+
+    def test_update_then_check_is_clean(self, tmp_path):
+        write_module(tmp_path)
+        report = lint(tmp_path, update_lock=True)
+        assert report.lock_written
+        assert report.findings == []
+        assert lint(tmp_path).findings == []
+
+    def test_lock_layout(self, tmp_path):
+        write_module(tmp_path)
+        lint(tmp_path, update_lock=True)
+        data = json.loads((tmp_path / DEFAULT_LOCK_NAME).read_text())
+        assert data["lock_schema"] == LOCK_SCHEMA_VERSION
+        entry = data["modules"]["thing.py"]
+        assert entry["versions"] == {"SCHEMA_VERSION": 1}
+        assert entry["identities"]["Thing"]["keys"] == ["a", "b", "schema"]
+        assert entry["identities"]["Thing"]["fields"] == ["a", "b"]
+
+    def test_key_change_without_bump_fails_loudly(self, tmp_path):
+        write_module(tmp_path)
+        lint(tmp_path, update_lock=True)
+        write_module(tmp_path, version=1, keys=('"a": self.a',))
+        report = lint(tmp_path)
+        messages = [f.message for f in report.findings]
+        assert any("WITHOUT a schema-version bump" in m for m in messages)
+        assert any("removed b" in m for m in messages)
+        assert report.exit_code == 1
+
+    def test_key_change_with_bump_is_only_stale(self, tmp_path):
+        write_module(tmp_path)
+        lint(tmp_path, update_lock=True)
+        write_module(tmp_path, version=2, keys=('"a": self.a',))
+        report = lint(tmp_path)
+        messages = [f.message for f in report.findings]
+        assert any("lockfile is stale" in m for m in messages)
+        assert not any("WITHOUT" in m for m in messages)
+
+    def test_version_only_change_still_requires_repin(self, tmp_path):
+        write_module(tmp_path)
+        lint(tmp_path, update_lock=True)
+        write_module(tmp_path, version=2)
+        report = lint(tmp_path)
+        assert [f.code for f in report.findings] == ["I001"]
+        assert "schema version changed" in report.findings[0].message
+        assert "1 -> 2" in report.findings[0].message
+
+    def test_bump_and_repin_is_clean_again(self, tmp_path):
+        write_module(tmp_path)
+        lint(tmp_path, update_lock=True)
+        write_module(tmp_path, version=2, keys=('"a": self.a',))
+        assert lint(tmp_path, update_lock=True).findings == []
+        assert lint(tmp_path).findings == []
+
+    def test_new_identity_module_is_flagged(self, tmp_path):
+        write_module(tmp_path)
+        lint(tmp_path, update_lock=True)
+        other = tmp_path / "other.py"
+        other.write_text(
+            "class Extra:\n"
+            "    def identity(self):\n"
+            "        return {\"k\": 1}\n"
+        )
+        report = run_lint(
+            [str(tmp_path / "thing.py"), str(other)],
+            select=["I001"],
+            lock_path=str(tmp_path / DEFAULT_LOCK_NAME),
+        )
+        assert [f.code for f in report.findings] == ["I001"]
+        assert "not recorded" in report.findings[0].message
+
+    def test_corrupt_lock_is_a_finding_not_a_crash(self, tmp_path):
+        write_module(tmp_path)
+        (tmp_path / DEFAULT_LOCK_NAME).write_text("{not json")
+        report = lint(tmp_path)
+        assert [f.code for f in report.findings] == ["I001"]
+        assert "unreadable" in report.findings[0].message
+
+
+class TestLockIO:
+    def test_read_lock_missing_returns_none(self, tmp_path):
+        assert read_lock(str(tmp_path / "absent.lock")) is None
+
+    def test_write_read_round_trip(self, tmp_path):
+        surfaces = {
+            "mod.py": {
+                "versions": {"SCHEMA_VERSION": 3},
+                "identities": {"C": {"keys": ["x"], "fields": ["x"]}},
+                "lines": {"C": 4},
+            }
+        }
+        path = str(tmp_path / "roundtrip.lock")
+        write_lock(surfaces, path)
+        data = read_lock(path)
+        assert data["modules"]["mod.py"]["versions"] == {"SCHEMA_VERSION": 3}
+        # lines are diagnostic only and never serialized
+        assert "lines" not in data["modules"]["mod.py"]
+
+    def test_read_lock_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.lock"
+        path.write_text(json.dumps({"lock_schema": 999, "modules": {}}))
+        with pytest.raises(ValueError, match="lock_schema"):
+            read_lock(str(path))
+
+    def test_dynamic_identity_dicts_abstain(self, tmp_path):
+        target = tmp_path / "thing.py"
+        target.write_text(
+            "class Dyn:\n"
+            "    def identity(self):\n"
+            "        d = {}\n"
+            "        d[\"k\"] = 1\n"
+            "        return d\n"
+        )
+        report = run_lint(
+            [str(target)],
+            select=["I001"],
+            lock_path=str(tmp_path / DEFAULT_LOCK_NAME),
+        )
+        # no extractable surface -> nothing to lock, nothing to report
+        assert report.findings == []

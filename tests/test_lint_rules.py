@@ -1,0 +1,424 @@
+"""Fixture tests for the per-file lint rules (D001–D003, T001).
+
+Each rule gets at least one true-positive fixture, one clean-negative
+fixture, and one ``# repro: noqa[CODE]`` suppression fixture, exercised
+through the real engine (``run_lint``) so path scoping, pragma
+handling, and finding layout are all covered together.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.engine import PARSE_ERROR_CODE
+
+
+def lint_source(tmp_path, relpath, source, select):
+    """Write ``source`` at ``relpath`` under ``tmp_path`` and lint it.
+
+    ``select`` names the single rule under test, which also keeps the
+    repo-level I001 lockfile check out of these per-rule fixtures.
+    """
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return run_lint(
+        [str(target)], select=[select], lock_path=str(tmp_path / "lock")
+    )
+
+
+def codes(report):
+    return [finding.code for finding in report.findings]
+
+
+# ---------------------------------------------------------------- D001
+
+
+class TestUnseededRandomness:
+    def test_unseeded_default_rng_is_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/model.py",
+            """
+            import numpy as np
+
+            def draw():
+                rng = np.random.default_rng()
+                return rng.random()
+            """,
+            "D001",
+        )
+        assert codes(report) == ["D001"]
+        assert "without a seed" in report.findings[0].message
+        assert report.findings[0].line == 5
+
+    def test_legacy_global_numpy_api_is_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/model.py",
+            """
+            import numpy as np
+
+            def draw(n):
+                return np.random.rand(n)
+            """,
+            "D001",
+        )
+        assert codes(report) == ["D001"]
+        assert "legacy global-state RNG" in report.findings[0].message
+
+    def test_stdlib_random_and_unseeded_random_cls(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/model.py",
+            """
+            import random
+
+            def draw():
+                r = random.Random()
+                return random.random() + r.random()
+            """,
+            "D001",
+        )
+        assert codes(report) == ["D001", "D001"]
+
+    def test_seeded_constructors_are_clean(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/model.py",
+            """
+            import random
+
+            import numpy as np
+
+            def draw(seed):
+                rng = np.random.default_rng(seed)
+                state = np.random.RandomState(seed=seed)
+                twister = random.Random(seed)
+                return rng.random() + state.rand() + twister.random()
+            """,
+            "D001",
+        )
+        assert codes(report) == []
+
+    def test_explicit_none_seed_is_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/model.py",
+            """
+            import numpy as np
+
+            rng = np.random.default_rng(None)
+            """,
+            "D001",
+        )
+        assert codes(report) == ["D001"]
+
+    def test_test_paths_are_exempt(self, tmp_path):
+        report = lint_source(
+            tmp_path, "tests/test_model.py",
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """,
+            "D001",
+        )
+        assert codes(report) == []
+
+    def test_noqa_pragma_suppresses(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/model.py",
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()  # repro: noqa[D001] entropy on purpose
+            """,
+            "D001",
+        )
+        assert codes(report) == []
+        assert [f.code for f in report.suppressed] == ["D001"]
+        assert report.exit_code == 0
+
+    def test_noqa_for_other_code_does_not_suppress(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/model.py",
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()  # repro: noqa[D002]
+            """,
+            "D001",
+        )
+        assert codes(report) == ["D001"]
+        assert report.exit_code == 1
+
+
+# ---------------------------------------------------------------- D002
+
+
+class TestNondeterministicOrdering:
+    def test_set_iteration_in_sweep_is_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path, "sweep/plan.py",
+            """
+            def chunks(names):
+                for name in set(names):
+                    yield name
+            """,
+            "D002",
+        )
+        assert codes(report) == ["D002"]
+        assert "iterating a set" in report.findings[0].message
+
+    def test_bare_listdir_in_obs_is_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path, "obs/merge.py",
+            """
+            import os
+
+            def shards(d):
+                return [n for n in os.listdir(d) if n.endswith(".json")]
+            """,
+            "D002",
+        )
+        assert codes(report) == ["D002"]
+        assert "sorted()" in report.findings[0].message
+
+    def test_sorted_wrapping_is_clean(self, tmp_path):
+        report = lint_source(
+            tmp_path, "sweep/plan.py",
+            """
+            import os
+
+            def shards(d):
+                names = sorted(os.listdir(d))
+                count = len(os.listdir(d))
+                only = sorted(n for n in os.listdir(d) if n)
+                for name in sorted({"b", "a"}):
+                    pass
+                return names, count, only
+            """,
+            "D002",
+        )
+        assert codes(report) == []
+
+    def test_rule_is_scoped_to_sweep_and_obs(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/other.py",
+            """
+            import os
+
+            def shards(d):
+                return list(os.listdir(d))
+            """,
+            "D002",
+        )
+        assert codes(report) == []
+
+    def test_noqa_pragma_suppresses(self, tmp_path):
+        report = lint_source(
+            tmp_path, "sweep/plan.py",
+            """
+            import os
+
+            def any_shard(d):
+                return next(iter(os.listdir(d)))  # repro: noqa[D002] order-free
+            """,
+            "D002",
+        )
+        assert codes(report) == []
+        assert [f.code for f in report.suppressed] == ["D002"]
+
+
+# ---------------------------------------------------------------- D003
+
+
+class TestNondeterminismIntoIdentity:
+    def test_wall_clock_in_identity_is_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/cache.py",
+            """
+            import time
+
+            class Cell:
+                def identity(self):
+                    return {"stamp": time.time()}
+            """,
+            "D003",
+        )
+        assert codes(report) == ["D003"]
+        assert "varies between runs" in report.findings[0].message
+
+    def test_builtin_hash_in_cache_key_is_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/cache.py",
+            """
+            def cache_key(cfg):
+                return hash(cfg)
+            """,
+            "D003",
+        )
+        assert codes(report) == ["D003"]
+        assert "PYTHONHASHSEED" in report.findings[0].message
+
+    def test_pid_and_id_in_identity_helpers(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/cache.py",
+            """
+            import os
+
+            def config_hash(cfg):
+                return (os.getpid(), id(cfg))
+            """,
+            "D003",
+        )
+        assert codes(report) == ["D003", "D003"]
+
+    def test_wall_clock_outside_identity_is_clean(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/cache.py",
+            """
+            import time
+
+            def elapsed(start):
+                return time.time() - start
+            """,
+            "D003",
+        )
+        assert codes(report) == []
+
+    def test_dunder_hash_is_exempt(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/cache.py",
+            """
+            class Graph:
+                def __hash__(self):
+                    return hash(self._ports)
+            """,
+            "D003",
+        )
+        assert codes(report) == []
+
+    def test_noqa_pragma_suppresses(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/cache.py",
+            """
+            import time
+
+            def identity(run):
+                return {"stamp": time.time()}  # repro: noqa[D003] display only
+            """,
+            "D003",
+        )
+        assert codes(report) == []
+        assert [f.code for f in report.suppressed] == ["D003"]
+
+
+# ---------------------------------------------------------------- T001
+
+
+class TestUnguardedKernelTelemetry:
+    def test_convenience_helper_in_kernel_is_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path, "sweep/batch_ring.py",
+            """
+            from repro.obs import count_many
+
+            def step(state):
+                count_many({"steps": 1})
+            """,
+            "T001",
+        )
+        assert codes(report) == ["T001"]
+        assert "hoist" in report.findings[0].message
+
+    def test_inline_active_chain_is_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path, "sweep/batch_ring.py",
+            """
+            from repro.obs.telemetry import active
+
+            def step(state):
+                active().count("steps")
+            """,
+            "T001",
+        )
+        assert codes(report) == ["T001"]
+        assert "active().count" in report.findings[0].message
+
+    def test_hoisted_guard_pattern_is_clean(self, tmp_path):
+        report = lint_source(
+            tmp_path, "sweep/batch_ring.py",
+            """
+            from repro.obs.telemetry import active as _telemetry
+
+            def step(state):
+                tel = _telemetry()
+                if tel is not None:
+                    tel.count_many({"steps": 1})
+            """,
+            "T001",
+        )
+        assert codes(report) == []
+
+    def test_rule_only_applies_to_kernel_modules(self, tmp_path):
+        report = lint_source(
+            tmp_path, "sweep/executor.py",
+            """
+            from repro.obs import count
+
+            def chunk():
+                count("chunks")
+            """,
+            "T001",
+        )
+        assert codes(report) == []
+
+    def test_noqa_pragma_suppresses(self, tmp_path):
+        report = lint_source(
+            tmp_path, "sweep/batch_ring.py",
+            """
+            from repro.obs import count
+
+            def cold_path():
+                count("setup")  # repro: noqa[T001] once per process
+            """,
+            "T001",
+        )
+        assert codes(report) == []
+        assert [f.code for f in report.suppressed] == ["T001"]
+
+
+# ------------------------------------------------------------- engine
+
+
+class TestEngine:
+    def test_syntax_error_becomes_e001(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/broken.py", "def broken(:\n", "D001"
+        )
+        assert codes(report) == [PARSE_ERROR_CODE]
+        assert report.exit_code == 1
+
+    def test_unknown_select_code_raises(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        with pytest.raises(ValueError, match="unknown rule code"):
+            run_lint([str(target)], select=["Z999"])
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_lint([str(tmp_path / "nope")], select=["D001"])
+
+    def test_findings_are_sorted_and_renderable(self, tmp_path):
+        report = lint_source(
+            tmp_path, "pkg/model.py",
+            """
+            import numpy as np
+
+            b = np.random.rand(3)
+            a = np.random.default_rng()
+            """,
+            "D001",
+        )
+        lines = [f.line for f in report.findings]
+        assert lines == sorted(lines)
+        rendered = report.findings[0].render()
+        assert "D001" in rendered and "pkg" in rendered
