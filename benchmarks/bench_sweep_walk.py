@@ -89,7 +89,10 @@ def test_batch_walk_kernel_throughput(benchmark):
             "speedup_vs_reference": round(speedup, 1),
         },
     )
-    assert speedup >= 1.5, (
+    # The interval-event + round-fused kernel sustains ~5x on this
+    # shape; 3x leaves headroom for noisy-neighbor CI runners while
+    # still catching any regression to the pre-fusion cadence (~2.7x).
+    assert speedup >= 3.0, (
         f"batch walk kernel sustains only {speedup:.1f}x the per-config "
         f"loop ({batch_rps:,.0f} vs {reference_rps:,.0f} rounds/sec)"
     )

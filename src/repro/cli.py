@@ -184,6 +184,7 @@ def _cmd_sweep(
     quick: bool,
     csv_dir: str | None,
     chunk_lanes: int | None = None,
+    fuse_rounds: int | None = None,
 ) -> int:
     from repro.sweep import registry
     from repro.sweep.aggregate import summary_tables
@@ -193,7 +194,7 @@ def _cmd_sweep(
     spec = registry.scenario(name, quick=quick)
     result = run_sweep(
         spec, jobs=jobs, cache_dir=cache_dir, progress=StderrProgress(),
-        chunk_lanes=chunk_lanes,
+        chunk_lanes=chunk_lanes, fuse_rounds=fuse_rounds,
     )
     report = Report(
         title=f"sweep '{name}'"
@@ -280,6 +281,7 @@ def _positive_int_argument(what: str) -> Callable[[str], int]:
 
 _jobs_argument = _positive_int_argument("worker count")
 _chunk_lanes_argument = _positive_int_argument("lane count")
+_fuse_rounds_argument = _positive_int_argument("round count")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -342,6 +344,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="B",
         help="lanes per kernel chunk (default: scenario hint, else 64); "
         "a scheduling knob — results and cache entries are unaffected",
+    )
+    sweep_parser.add_argument(
+        "--fuse-rounds", type=_fuse_rounds_argument, default=None,
+        metavar="T",
+        help="rounds fused per kernel epoch (default: scenario hint, else "
+        "each kernel's tuned default); a scheduling knob — results are "
+        "bit-identical at every value",
     )
     sweep_parser.add_argument(
         "--quick", action="store_true",
@@ -409,7 +418,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "sweep":
             return _cmd_sweep(
                 args.name, args.jobs, cache_dir, args.quick, args.csv,
-                args.chunk_lanes,
+                args.chunk_lanes, args.fuse_rounds,
             )
         return _cmd_all(
             args.csv,

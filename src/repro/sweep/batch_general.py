@@ -414,6 +414,17 @@ class BatchGeneralKernel:
         ``(pointers, counts)`` are exactly the serial engine's state at
         the returned round.
         """
+        # Budget freezing runs at *deadlines*, not per round: the
+        # earliest active budget is the first round any lane can
+        # exhaust, so rounds below it skip the (B,) exhaustion mask
+        # entirely.  Lanes covering mid-flight only shrink the active
+        # set, so a stale deadline is at most early — never late — and
+        # the freeze round stays exact.
+        deadline = (
+            int(self._budgets[self._active].min())
+            if self._active.any()
+            else 0
+        )
         while self._occ.size:
             if self._occ.size <= self._scalar_tail_pairs:
                 for lane in np.unique(self._lane_s[self._occ]).tolist():
@@ -421,12 +432,18 @@ class BatchGeneralKernel:
                 self._occ = self._occ[:0]
                 self._cnt = self._cnt[:0]
                 break
-            exhausted = self._active & (self._budgets <= self.round)
-            if exhausted.any():
-                self._active &= ~exhausted
-                self._drop_resolved()
-                if not self._occ.size:
-                    break
+            if self.round >= deadline:
+                exhausted = self._active & (self._budgets <= self.round)
+                if exhausted.any():
+                    self._active &= ~exhausted
+                    self._drop_resolved()
+                    if not self._occ.size:
+                        break
+                deadline = (
+                    int(self._budgets[self._active].min())
+                    if self._active.any()
+                    else self.round + 1
+                )
             self._step_vector()
         if strict and (self.cover_rounds < 0).any():
             truncated = int(np.count_nonzero(self.cover_rounds < 0))

@@ -7,26 +7,47 @@ gives the deterministic side.  A walk cell fans out over R seeded
 repetitions; a chunk of cells therefore becomes ``R·B`` independent
 lanes, each lane being one k-walker system on the n-ring.
 
-The kernel advances all lanes block-wise, exactly like the reference
-:class:`repro.randomwalk.ring_walk.RingRandomWalks`: per block every
-lane draws a ``(block, k)`` increment matrix from its own generator,
-the trajectories are recovered with one cumulative sum, and exact
-first-visit rounds are extracted from the flattened position matrix.
-The difference is the data layout: the per-lane trajectories are
-concatenated along the walker axis into one ``(block, ΣkR)`` matrix,
-so the cumulative sum, the modulo, and the first-visit ``np.unique``
-scan run once per block instead of once per lane per block — the
-per-block Python overhead is paid once for the whole batch.
+The kernel is seed-for-seed equivalent to the reference
+:class:`repro.randomwalk.ring_walk.RingRandomWalks` but replaces its
+flatten-and-``np.unique`` first-visit scan with an *interval-event*
+sweep.  A ±1 walker's visited set on the ring is always the circular
+projection of one contiguous unwrapped interval ``[lo, hi]``, and that
+interval grows by at most one node per round, so the complete
+first-visit history of a trajectory block is recovered from the
+running ``maximum.accumulate`` / ``minimum.accumulate`` of the
+unwrapped cumulative-sum trajectory: every row where the running
+extreme advances past the walker's previous bound is one "new node"
+event.  Events are *sparse* (O(nodes visited), not O(rounds·walkers)),
+so the per-element work drops to a handful of cheap int8/int32 passes
+— no per-element modulo, no gather into the visit table.
 
 **Seed-for-seed equivalence**: lane ``b`` with seed ``s`` consumes its
 generator identically to ``RingRandomWalks(n, positions, seed=s)``
-driven with the same ``block_size`` (the draws are per-lane and
-block-aligned), so per-lane cover rounds are *exactly* those of the
-reference — not merely equal in distribution.  The equivalence is
-pinned by ``tests/test_sweep_batch_walk.py`` over randomized
-configurations.  Lanes that cover stop drawing, mirroring the
-reference's early exit, which keeps the streams aligned and the cost
-proportional to uncovered lanes.
+driven with the same ``block_size``.  Two stream facts make the fused
+draws exact, both pinned by ``tests/test_sweep_fused.py``:
+``Generator.choice`` over a 2-element population consumes exactly one
+64-bit word per element in C order, so (1) it equals
+``2·integers(0, 2, dtype=int64) − 1`` element for element, and (2) any
+partition of the same total element count into successive draws yields
+the same increments.  Per-lane cover rounds are therefore *exactly*
+those of the reference — not merely equal in distribution — which
+``tests/test_sweep_batch_walk.py`` pins over randomized
+configurations.  Lanes that cover stop drawing at the next epoch
+boundary, mirroring the reference's early exit.
+
+**Round fusion**: ``fuse_rounds`` lets one ``_advance_epoch`` dispatch
+advance up to ``fuse_rounds * block_size`` rounds — the per-lane RNG
+draw becomes one ``(T·block, k)`` matrix instead of ``T`` successive
+``(block, k)`` matrices.  The trajectory is still *processed* in
+``block_size`` sub-blocks (cache-resident working set, and covered
+lanes drop out between sub-blocks so fusion adds no wasted compute,
+only wasted tail draws that nothing ever observes).  The only
+behavioral wrinkle is freezing: the unfused driver re-evaluates the
+active set every ``block_size`` rounds, so a lane that covers inside
+an epoch must report the positions it had at the end of the
+``block_size``-aligned sub-block in which it covered — dropping its
+columns between sub-blocks yields exactly that.  Fused-vs-unfused
+bit-identity is pinned by ``tests/test_sweep_fused.py``.
 """
 
 from __future__ import annotations
@@ -43,6 +64,17 @@ from repro.util.rng import make_rng
 #: :class:`repro.randomwalk.ring_walk.RingRandomWalks` for the
 #: seed-for-seed equivalence documented above.
 DEFAULT_BLOCK_SIZE = 1024
+
+#: Default blocks fused into one epoch (one RNG draw + one trajectory
+#: recovery per lane per epoch).  Identity-neutral: any value yields
+#: bit-identical covers, visit rounds and final positions.
+DEFAULT_FUSE_ROUNDS = 4
+
+#: Cap on ``rounds × walkers`` elements drawn per fused epoch — bounds
+#: the per-epoch increment matrix (int8, ~4 MiB at the cap) and the
+#: RNG tail wasted on lanes that cover mid-epoch.  Scheduling only:
+#: the effective epoch shrinks, results never change.
+_EPOCH_ELEMENT_BUDGET = 1 << 22
 
 
 @dataclass(frozen=True)
@@ -66,6 +98,10 @@ class BatchRingWalks:
     block_size:
         Rounds simulated per vectorized block.  Leave at the default
         to stay seed-for-seed equal to ``RingRandomWalks``.
+    fuse_rounds:
+        Blocks fused into one epoch (one dispatch advances up to
+        ``fuse_rounds * block_size`` rounds).  Identity-neutral — see
+        the module docstring for why any value is bit-identical.
     """
 
     def __init__(
@@ -73,6 +109,7 @@ class BatchRingWalks:
         n: int,
         lanes: Sequence[WalkLane],
         block_size: int = DEFAULT_BLOCK_SIZE,
+        fuse_rounds: int = DEFAULT_FUSE_ROUNDS,
     ) -> None:
         if n < 3:
             raise ValueError(f"ring requires n >= 3, got {n}")
@@ -80,11 +117,17 @@ class BatchRingWalks:
             raise ValueError("at least one lane is required")
         if block_size < 1:
             raise ValueError(f"block_size must be positive, got {block_size}")
+        if fuse_rounds < 1:
+            raise ValueError(
+                f"fuse_rounds must be positive, got {fuse_rounds}"
+            )
         self.n = n
         self.block_size = block_size
+        self.fuse_rounds = fuse_rounds
         self.num_lanes = len(lanes)
         self.round = 0
         self._blocks = 0
+        self._epochs = 0
         self._lane_rounds = 0
 
         self._rngs = [make_rng(lane.seed) for lane in lanes]
@@ -96,6 +139,13 @@ class BatchRingWalks:
             if np.any((positions < 0) | (positions >= n)):
                 raise ValueError(f"lane {b}: walker position out of range")
             self._positions.append(positions)
+        # Per-walker visited-interval bounds, stored as non-negative
+        # offsets from the current position (hi = pos + hi_rel,
+        # lo = pos - lo_rel on the unwrapped line).  Both are clamped
+        # to n: once a walker's interval spans the ring, any wider
+        # bound generates only events the visit-table filter discards.
+        self._hi_rel = [np.zeros(p.size, dtype=np.int64) for p in self._positions]
+        self._lo_rel = [np.zeros(p.size, dtype=np.int64) for p in self._positions]
 
         #: Exact first-visit round per (lane, node); -1 = not yet visited.
         self.first_visit = np.full((self.num_lanes, n), -1, dtype=np.int64)
@@ -110,105 +160,178 @@ class BatchRingWalks:
     # stepping
     # ------------------------------------------------------------------
 
-    #: Rounds per first-visit scan slice inside a block.  The block
-    #: size is fixed by RNG-stream parity with the reference, but the
-    #: *detection scan* is free to run in shorter slices: updating
-    #: ``first_visit`` between slices lets the candidate filter discard
-    #: revisits early, and lanes that cover mid-block drop out of the
-    #: remaining slices entirely.
-    _SCAN_SLICE = 64
-
-    def _advance_block(self, active: np.ndarray, block: int) -> None:
-        """Advance the ``active`` lanes ``block`` rounds in one batch.
+    def _advance_epoch(
+        self, active: np.ndarray, total: int, drop_covered: bool = False
+    ) -> None:
+        """Advance the ``active`` lanes ``total`` rounds in one epoch.
 
         The per-lane increment draws are deliberately separate calls on
         separate generators (that is what makes each lane reproduce its
-        standalone reference run); everything downstream — cumulative
-        sum, modulo, first-visit extraction — runs on the concatenated
-        ``(block, W)`` matrix.
+        standalone reference run); everything downstream runs on the
+        concatenated ``(total, W)`` matrix, processed in ``block_size``
+        sub-blocks.  With ``drop_covered`` a lane that covers drops out
+        of the remaining sub-blocks, keeping the positions and interval
+        bounds it held at the end of its covering sub-block — exactly
+        the state the unfused driver would have frozen.
         """
-        increments = [
-            self._rngs[b].choice(
-                (-1, 1), size=(block, self._positions[b].size)
-            ).astype(np.int64)
-            for b in active
-        ]
-        widths = [inc.shape[1] for inc in increments]
-        inc_cat = (
-            np.concatenate(increments, axis=1)
-            if len(increments) > 1
-            else increments[0]
-        )
-        pos_cat = np.concatenate([self._positions[b] for b in active])
-        trajectory = (
-            pos_cat[None, :] + np.cumsum(inc_cat, axis=0)
-        ) % self.n
-
-        # Walker -> owning lane; (lane, node) flattens to the global
-        # node id lane*n + node, an index into first_visit.ravel().
-        walker_lane = np.repeat(np.asarray(active, dtype=np.int64), widths)
-        flat_first = self.first_visit.ravel()
-        scan_cols = np.flatnonzero(self.cover_rounds[walker_lane] < 0)
-        for t0 in range(0, block, self._SCAN_SLICE):
-            if not scan_cols.size:
-                break  # every scanned lane has covered
-            t1 = min(block, t0 + self._SCAN_SLICE)
-            flat_sub = (
-                walker_lane[scan_cols][None, :] * self.n
-                + trajectory[t0:t1, scan_cols]
-            ).ravel()
-            # Restrict the first-occurrence sort to still-unvisited
-            # nodes: the total sorted volume over a run is O(visits),
-            # not O(rounds * walkers).  Candidates ascend in row-major
-            # (= time) order, so np.unique's first index is the
-            # earliest visit.
-            candidates = np.flatnonzero(flat_first[flat_sub] < 0)
-            if not candidates.size:
-                continue
-            visited, first_index = np.unique(
-                flat_sub[candidates], return_index=True
-            )
-            rows = candidates[first_index] // scan_cols.size
-            flat_first[visited] = self.round + t0 + rows + 1
-            lanes_hit = visited // self.n
-            self.unvisited -= np.bincount(
-                lanes_hit, minlength=self.num_lanes
-            )
-            newly = np.unique(lanes_hit)
-            covered = newly[
-                (self.unvisited[newly] == 0) & (self.cover_rounds[newly] < 0)
-            ]
-            if covered.size:
-                # Exact: the cover round is the latest first visit, no
-                # matter where inside the slice it happened.
-                self.cover_rounds[covered] = (
-                    self.first_visit[covered].max(axis=1)
-                )
-                scan_cols = scan_cols[
-                    self.cover_rounds[walker_lane[scan_cols]] < 0
-                ]
-
-        last = trajectory[-1]
+        widths = [self._positions[b].size for b in active]
+        num_walkers = int(sum(widths))
+        # One fused draw per lane; integers(0, 2) is stream-identical
+        # to the reference's choice((-1, 1)) (module docstring).  The
+        # draw is (total, k) to preserve the stream's time-major order,
+        # then transposed into the walker-major working layout so every
+        # cumulative scan below runs along a contiguous axis.
+        inc = np.empty((num_walkers, total), dtype=np.int8)
         offset = 0
         for b, width in zip(active, widths):
-            self._positions[b] = last[offset:offset + width].copy()
+            inc[offset:offset + width] = self._rngs[b].integers(
+                0, 2, size=(total, width), dtype=np.int64
+            ).T
             offset += width
-        self.round += block
-        self._blocks += 1
-        self._lane_rounds += block * len(active)
+        inc *= 2
+        inc -= 1
+
+        # Sub-block trajectories live in a frame relative to each
+        # walker's sub-block start, so int16 suffices for any ring the
+        # interval bounds (<= n) fit in; absolute unwrapped positions
+        # drift by at most `total` per epoch and stay int32.
+        if self.n + self.block_size < 2**15:
+            fdtype = np.int16
+        elif self.n + self.block_size < 2**31:
+            fdtype = np.int32
+        else:  # pragma: no cover - astronomically large rings
+            fdtype = np.int64
+        cdtype = np.int32 if self.n + total < 2**31 - 1 else np.int64
+        walker_lane = np.repeat(np.asarray(active, dtype=np.int64), widths)
+        lane_off = walker_lane * self.n
+        cur = np.concatenate([self._positions[b] for b in active]).astype(cdtype)
+        hi_rel = np.concatenate([self._hi_rel[b] for b in active]).astype(fdtype)
+        lo_rel = np.concatenate([self._lo_rel[b] for b in active]).astype(fdtype)
+
+        flat_first = self.first_visit.ravel()
+        base_round = self.round
+        act = np.arange(num_walkers)
+        for t0 in range(0, total, self.block_size):
+            if not act.size:
+                break  # every processed lane has covered
+            t1 = min(total, t0 + self.block_size)
+            sub = inc[act, t0:t1] if act.size < num_walkers else inc[:, t0:t1]
+            span = t1 - t0
+            hr = hi_rel[act]
+            lr = lo_rel[act]
+            neg_lr = -lr
+            traj = np.cumsum(sub, axis=1, dtype=fdtype)
+            rowmax = traj.max(axis=1)
+            rowmin = traj.min(axis=1)
+            # New-territory events: a ±1 walker's visited set is the
+            # circular projection of its unwrapped interval, so first
+            # visits happen exactly where a running extreme advances
+            # past the walker's previous bound (by 1 per row, at most).
+            # Each side scans only the rows whose extreme escaped.
+            ev_parts: list[tuple[np.ndarray, np.ndarray]] = []
+            for escape, bounds, accum, compare in (
+                (rowmax > hr, hr, np.maximum, np.greater),
+                (rowmin < neg_lr, neg_lr, np.minimum, np.less),
+            ):
+                rows = np.flatnonzero(escape)
+                if not rows.size:
+                    continue
+                csub = traj[rows] if rows.size < act.size else traj
+                bound = bounds[rows][:, None]
+                cext = accum.accumulate(csub, axis=1)
+                accum(cext, bound, out=cext)
+                grow = np.empty(csub.shape, dtype=bool)
+                compare(cext[:, :1], bound, out=grow[:, :1])
+                compare(cext[:, 1:], cext[:, :-1], out=grow[:, 1:])
+                ev = np.flatnonzero(grow.ravel())
+                walkers = act[rows[ev // span]]
+                vals = cext.ravel()[ev].astype(np.int64)
+                vals += cur[walkers]
+                gids = lane_off[walkers] + vals % self.n
+                ev_parts.append((gids, base_round + t0 + ev % span + 1))
+            if ev_parts:
+                gids = np.concatenate([p[0] for p in ev_parts])
+                rounds = np.concatenate([p[1] for p in ev_parts])
+                # Drop already-visited nodes *before* sorting: surviving
+                # events are O(first visits), not O(interval growth).
+                keep = np.flatnonzero(flat_first[gids] < 0)
+                if keep.size:
+                    gids = gids[keep]
+                    rounds = rounds[keep]
+                    # Order by round so the first-occurrence sort below
+                    # keeps the earliest visit per node.
+                    order = np.argsort(rounds, kind="stable")
+                    visited, first_index = np.unique(
+                        gids[order], return_index=True
+                    )
+                    flat_first[visited] = rounds[order[first_index]]
+                    lanes_hit = visited // self.n
+                    self.unvisited -= np.bincount(
+                        lanes_hit, minlength=self.num_lanes
+                    )
+                    newly = np.unique(lanes_hit)
+                    covered = newly[
+                        (self.unvisited[newly] == 0)
+                        & (self.cover_rounds[newly] < 0)
+                    ]
+                    if covered.size:
+                        # Exact: the cover round is the latest first
+                        # visit, wherever in the sub-block it happened.
+                        self.cover_rounds[covered] = (
+                            self.first_visit[covered].max(axis=1)
+                        )
+            # Carry the frame to the next sub-block: shift the interval
+            # bounds by the walker's net displacement and re-clamp.
+            tlast = traj[:, -1]
+            hi_rel[act] = np.minimum(np.maximum(hr, rowmax) - tlast, self.n)
+            lo_rel[act] = np.minimum(np.maximum(lr, -rowmin) + tlast, self.n)
+            cur[act] += tlast
+            if drop_covered:
+                act = act[self.cover_rounds[walker_lane[act]] < 0]
+
+        # Write-back: wrapped positions plus the interval offsets.
+        # Lanes dropped mid-epoch keep the values from the end of their
+        # covering sub-block — the unfused freeze semantics.
+        pos_mod = (cur % self.n).astype(np.int64)
+        hi64 = hi_rel.astype(np.int64)
+        lo64 = lo_rel.astype(np.int64)
+        offset = 0
+        for b, width in zip(active, widths):
+            span = slice(offset, offset + width)
+            self._positions[b] = pos_mod[span]
+            self._hi_rel[b] = hi64[span]
+            self._lo_rel[b] = lo64[span]
+            offset += width
+        self.round += total
+        self._blocks += -(-total // self.block_size)
+        self._epochs += 1
+        self._lane_rounds += total * len(active)
 
     def _uncovered(self) -> np.ndarray:
         return np.flatnonzero(self.cover_rounds < 0)
 
+    def _epoch_rounds(self, active: np.ndarray, remaining: int) -> int:
+        """Rounds the next fused dispatch should advance.
+
+        Up to ``fuse_rounds`` whole blocks, clamped so the epoch's
+        ``rounds × walkers`` working set stays under
+        :data:`_EPOCH_ELEMENT_BUDGET` — scheduling only, since any
+        block partition is stream-identical (module docstring).
+        """
+        walkers = sum(self._positions[b].size for b in active)
+        per_block = self.block_size * max(1, walkers)
+        blocks = max(1, min(self.fuse_rounds, _EPOCH_ELEMENT_BUDGET // per_block))
+        return min(blocks * self.block_size, remaining)
+
     def run(self, rounds: int) -> None:
-        """Advance every lane ``rounds`` rounds (block-wise)."""
+        """Advance every lane ``rounds`` rounds (fused block-wise)."""
         if rounds < 0:
             raise ValueError(f"rounds must be non-negative, got {rounds}")
         all_lanes = np.arange(self.num_lanes)
         remaining = rounds
         while remaining > 0:
-            block = min(self.block_size, remaining)
-            self._advance_block(all_lanes, block)
+            block = self._epoch_rounds(all_lanes, remaining)
+            self._advance_epoch(all_lanes, block)
             remaining -= block
 
     def run_until_covered(
@@ -231,8 +354,8 @@ class BatchRingWalks:
                         f"covered within {max_rounds} rounds"
                     )
                 break
-            block = min(self.block_size, max_rounds - self.round)
-            self._advance_block(active, block)
+            block = self._epoch_rounds(active, max_rounds - self.round)
+            self._advance_epoch(active, block, drop_covered=True)
             active = self._uncovered()
         tel = _telemetry()
         if tel is not None:
@@ -243,6 +366,7 @@ class BatchRingWalks:
                 "walk.walkers": sum(p.size for p in self._positions),
                 "walk.rounds": self.round,
                 "walk.blocks": self._blocks,
+                "walk.epochs": self._epochs,
                 "walk.lane_rounds": self._lane_rounds,
                 "walk.lanes_covered": covered,
                 "walk.lanes_truncated": self.num_lanes - covered,

@@ -50,6 +50,7 @@ from repro.sweep.batch_ring import (
     batch_return_gaps,
     lanes_from_configs,
 )
+from repro.sweep import shm
 from repro.sweep.batch_walk import BatchRingWalks, walk_lanes_from_cells
 from repro.sweep.cells import cell_from_dict
 from repro.sweep.spec import ScenarioSpec, SweepConfig
@@ -256,24 +257,33 @@ def _compute_rotor_chunk(payload: dict) -> list[tuple[str, dict]]:
     max_rounds = payload["max_rounds"]
     metrics: Sequence[str] = payload["metrics"]
     compact_ratio = payload.get("compact_ratio", DEFAULT_COMPACT_RATIO)
+    fuse_rounds = payload.get("fuse_rounds") or 1
     configs = [cell_from_dict(data) for data in payload["configs"]]
-    if list(metrics) == ["cover"] and _prefer_serial_covers(n, configs):
-        return _compute_rotor_covers_serial(n, max_rounds, configs)
-    built = [config.build() for config in configs]
-    pointers, counts = lanes_from_configs(
-        n, [(directions, agents) for agents, directions in built]
-    )
+    lanes = payload.get("lanes")
+    if lanes is not None:
+        # Parent-packed shared-memory slabs: the lane arrays were built
+        # once in the dispatching process; attach read-only views (the
+        # kernel constructor dtype-copies them into its own buffers).
+        pointers = shm.resolve(lanes["pointers"])
+        counts = shm.resolve(lanes["counts"])
+    else:
+        if list(metrics) == ["cover"] and _prefer_serial_covers(n, configs):
+            return _compute_rotor_covers_serial(n, max_rounds, configs)
+        built = [config.build() for config in configs]
+        pointers, counts = lanes_from_configs(
+            n, [(directions, agents) for agents, directions in built]
+        )
 
     out: list[dict] = [{} for _ in configs]
     if "cover" in metrics:
-        kernel = BatchRingKernel(n, pointers, counts)
+        kernel = BatchRingKernel(n, pointers, counts, fuse_rounds=fuse_rounds)
         covers = kernel.run_until_covered(max_rounds, strict=False)
         for b, cover in enumerate(covers):
             out[b]["cover"] = int(cover) if cover >= 0 else None
     if "stabilization" in metrics or "return" in metrics:
         cycles = batch_limit_cycles(
             n, pointers, counts, max_rounds, strict=False,
-            compact_ratio=compact_ratio,
+            fuse_rounds=fuse_rounds, compact_ratio=compact_ratio,
         )
         resolved = cycles.periods > 0
         if "stabilization" in metrics:
@@ -322,13 +332,17 @@ def _compute_walk_chunk(payload: dict) -> list[tuple[str, dict]]:
     """
     n = payload["n"]
     max_rounds = payload["max_rounds"]
+    fuse_rounds = payload.get("fuse_rounds")
     configs = [cell_from_dict(data) for data in payload["configs"]]
     lanes, slices = walk_lanes_from_cells(
         [(config.build_agents(), config.rep_seeds()) for config in configs]
     )
-    covers = BatchRingWalks(n, lanes).run_until_covered(
-        max_rounds, strict=False
+    walks = (
+        BatchRingWalks(n, lanes, fuse_rounds=fuse_rounds)
+        if fuse_rounds
+        else BatchRingWalks(n, lanes)  # kernel default (tuned)
     )
+    covers = walks.run_until_covered(max_rounds, strict=False)
     out: list[tuple[str, dict]] = []
     for config, (start, stop) in zip(configs, slices):
         samples = covers[start:stop]
@@ -429,7 +443,12 @@ def _compute_general_chunk(payload: dict) -> list[tuple[str, dict]]:
     shared vectorized rounds.  Tiny chunks take the reference-engine
     path instead (see :data:`GENERAL_SERIAL_NODES`).
     """
-    graphs = payload["graphs"]
+    graphs = {
+        digest: shm.resolve_csr(entry)
+        if shm.is_csr_descriptor(entry)
+        else entry
+        for digest, entry in payload["graphs"].items()
+    }
     cells = [
         cell_from_dict(data, graphs=graphs) for data in payload["configs"]
     ]
@@ -485,6 +504,7 @@ def _plan_chunks(
     walk_chunk_walkers: int = DEFAULT_WALK_CHUNK_WALKERS,
     compact_ratio: float = DEFAULT_COMPACT_RATIO,
     jobs: int = 1,
+    fuse_rounds: int | None = None,
 ) -> list[dict]:
     """Group misses by (model, n, budget, metrics); slice into payloads.
 
@@ -504,8 +524,14 @@ def _plan_chunks(
     by graph and its digest-keyed graph table (``payload["graphs"]``,
     one :class:`~repro.graphs.base.GraphCSR` per distinct graph) stays
     small.  With ``jobs <= 1`` the whole group is one chunk (splitting
-    buys nothing in-process); parallel runs split it ``2·jobs`` ways,
-    floored by ``chunk_lanes``.
+    buys nothing in-process); parallel runs split it into up to
+    ``2·jobs`` chunks balanced by occupied-pair load estimates
+    (``min(k, n) · max_rounds`` per cell), not by lane count.
+
+    ``fuse_rounds`` rides along in every payload (like
+    ``compact_ratio``): ``None`` leaves each kernel on its own tuned
+    default, an explicit value pins the fusion factor — either way the
+    results are bit-identical, so it never joins the cache identity.
     """
     groups: dict[tuple[str, int, int, tuple[str, ...]], list] = {}
     for config in misses:
@@ -532,6 +558,7 @@ def _plan_chunks(
                 "max_rounds": max_rounds,
                 "metrics": list(metrics),
                 "compact_ratio": compact_ratio,
+                "fuse_rounds": fuse_rounds,
                 "configs": [config.to_dict() for config in chunk],
             }
             if model == "rotor-general":
@@ -556,13 +583,32 @@ def _slice_chunks(
     if model == "rotor-general":
         # Lane sharing is the whole point of the general kernel: only
         # split when worker processes can actually consume the chunks.
+        # The split is topology-aware: a lane's per-round vector cost
+        # scales with its occupied pairs (bounded by min(k, n)) for up
+        # to max_rounds rounds, so chunks close on that load estimate
+        # rather than on lane count — one huge-graph cell no longer
+        # weighs the same as a dozen tiny ones.  Members arrive
+        # digest-sorted, so contiguous chunks keep same-graph cells
+        # (and their shared CSR tables) together.
         if jobs <= 1:
             return [members]
-        size = max(chunk_lanes, -(-len(members) // (2 * jobs)))
-        return [
-            members[start:start + size]
-            for start in range(0, len(members), size)
+        weights = [
+            min(cell.k, cell.n) * max(1, cell.max_rounds)
+            for cell in members
         ]
+        target = max(1, sum(weights) // (2 * jobs))
+        chunks = []
+        current: list = []
+        load = 0
+        for cell, weight in zip(members, weights):
+            current.append(cell)
+            load += weight
+            if load >= target and len(chunks) < 2 * jobs - 1:
+                chunks.append(current)
+                current, load = [], 0
+        if current:
+            chunks.append(current)
+        return chunks
     if model != "walk":
         return [
             members[start:start + chunk_lanes]
@@ -586,6 +632,55 @@ def _slice_chunks(
     return chunks
 
 
+def _pack_shm_payloads(payloads: list[dict]) -> "shm.SlabArena | None":
+    """Move parallel payloads' large arrays into one shared segment.
+
+    Rotor chunks get their lane slabs (``(B, n)`` pointers/counts)
+    prebuilt here and replaced by descriptors under ``payload["lanes"]``
+    — unless the chunk would take the serial-covers path, which wants
+    per-cell configs, not slabs.  General chunks get their digest-keyed
+    graph tables packed once *per distinct graph across all chunks*
+    (the same descriptor triple is shared), so a graph that spans chunk
+    boundaries ships a single copy.  Walk and gap payloads are already
+    descriptor-sized (seeds and positions) and pass through untouched.
+
+    Returns the sealed arena (caller owns the unlink), or None when
+    nothing was worth packing.
+    """
+    arena = shm.SlabArena()
+    graph_entries: dict[str, dict] = {}
+    for payload in payloads:
+        model = payload["model"]
+        if model == "rotor-general":
+            packed = {}
+            for digest, csr in payload["graphs"].items():
+                entry = graph_entries.get(digest)
+                if entry is None:
+                    entry = shm.pack_csr(arena, csr)
+                    graph_entries[digest] = entry
+                packed[digest] = entry
+            payload["graphs"] = packed
+        elif model != "walk":
+            configs = [cell_from_dict(data) for data in payload["configs"]]
+            if list(payload["metrics"]) == ["cover"] and _prefer_serial_covers(
+                payload["n"], configs
+            ):
+                continue  # the worker re-derives the serial decision
+            built = [config.build() for config in configs]
+            pointers, counts = lanes_from_configs(
+                payload["n"],
+                [(directions, agents) for agents, directions in built],
+            )
+            payload["lanes"] = {
+                "pointers": arena.add(pointers),
+                "counts": arena.add(counts),
+            }
+    if not len(arena):
+        return None
+    arena.seal()
+    return arena
+
+
 class StderrProgress:
     """Progress reporter with elapsed time, rate and ETA.
 
@@ -596,10 +691,21 @@ class StderrProgress:
 
     The rate counts configurations completed since the first call of a
     sweep, which excludes the initial cache-hit jump: the ETA reflects
-    actual compute throughput, not cache reads.  An instance resets
-    itself when ``total`` changes, ``done`` regresses, or a sweep
-    completes, so one instance serves consecutive sweeps.
+    actual compute throughput, not cache reads.  The rate itself is
+    measured over a sliding window of recent updates (at most
+    ``RATE_WINDOW`` seconds) rather than the whole sweep: fused chunks
+    complete many cells in one burst after a long silent epoch, and a
+    since-start rate would let that stall (or a fast cached prefix)
+    distort the ETA for the rest of the run.  The window is clamped at
+    those epoch boundaries — it always retains the sample immediately
+    before a burst, so the burst is averaged over the epoch that
+    produced it and never reads as instantaneous throughput.  An
+    instance resets itself when ``total`` changes, ``done`` regresses,
+    or a sweep completes, so one instance serves consecutive sweeps.
     """
+
+    #: Sliding rate-window span, seconds.
+    RATE_WINDOW = 30.0
 
     def __init__(
         self,
@@ -618,6 +724,21 @@ class StderrProgress:
         self._last_done = 0
         self._baseline = 0
         self._last_emit: float | None = None
+        self._samples: list[tuple[float, int]] = []
+
+    def _rate(self, elapsed: float, computed: int) -> float | None:
+        """Completions/second over the clamped sliding window."""
+        samples = self._samples
+        samples.append((elapsed, computed))
+        # Drop history beyond the window but always keep the sample
+        # preceding the newest one: after an epoch-long stall the rate
+        # spans exactly [previous update, burst], nothing older.
+        while len(samples) > 2 and elapsed - samples[0][0] > self.RATE_WINDOW:
+            samples.pop(0)
+        start_elapsed, start_computed = samples[0]
+        if computed > start_computed and elapsed > start_elapsed:
+            return (computed - start_computed) / (elapsed - start_elapsed)
+        return None
 
     def __call__(self, done: int, total: int) -> None:
         stream = self.stream if self.stream is not None else sys.stderr
@@ -633,9 +754,8 @@ class StderrProgress:
         self._last_done = done
         elapsed = self._watch.split()
         line = f"sweep: {done}/{total} configurations elapsed={elapsed:.1f}s"
-        computed = done - self._baseline
-        if computed > 0 and elapsed > 0:
-            rate = computed / elapsed
+        rate = self._rate(elapsed, done - self._baseline)
+        if rate is not None:
             line += f" rate={rate:.1f}/s"
             if done < total:
                 line += f" eta={(total - done) / rate:.0f}s"
@@ -671,6 +791,7 @@ def run_cells(
     chunk_lanes: int = DEFAULT_CHUNK_LANES,
     walk_chunk_walkers: int = DEFAULT_WALK_CHUNK_WALKERS,
     compact_ratio: float = DEFAULT_COMPACT_RATIO,
+    fuse_rounds: int | None = None,
 ) -> tuple[dict[str, dict], set[str]]:
     """Execute a flat cell list: cache probe, then batched chunks.
 
@@ -691,6 +812,10 @@ def run_cells(
     if walk_chunk_walkers < 1:
         raise ValueError(
             f"walk_chunk_walkers must be positive, got {walk_chunk_walkers}"
+        )
+    if fuse_rounds is not None and fuse_rounds < 1:
+        raise ValueError(
+            f"fuse_rounds must be at least 1, got {fuse_rounds}"
         )
     _check_compact_ratio(compact_ratio)
     cache = ResultCache(cache_dir) if cache_dir else None
@@ -735,7 +860,8 @@ def run_cells(
     by_hash = {cell.config_hash: cell for cell in misses}
     with obs.span("plan", misses=len(misses)):
         payloads = _plan_chunks(
-            misses, chunk_lanes, walk_chunk_walkers, compact_ratio, jobs
+            misses, chunk_lanes, walk_chunk_walkers, compact_ratio, jobs,
+            fuse_rounds,
         )
     if session is not None:
         for payload in payloads:
@@ -749,14 +875,30 @@ def run_cells(
     if payloads:
         with obs.span("aggregate", chunks=len(payloads)):
             if jobs > 1:
-                with multiprocessing.Pool(processes=jobs) as pool:
-                    chunk_results = pool.imap_unordered(
-                        compute_chunk, payloads
-                    )
-                    _collect(
-                        chunk_results, metrics_by_hash, by_hash, cache,
-                        done, total, progress,
-                    )
+                # Large chunk arrays ship through one shared-memory
+                # segment owned by this call; workers map it read-only
+                # and payload pickles stay descriptor-sized.  The
+                # finally unlinks even if a worker (or the pool) dies:
+                # live worker mappings survive the unlink, nothing
+                # leaks past this call.
+                arena = _pack_shm_payloads(payloads)
+                if arena is not None:
+                    obs.count_many({
+                        "executor.shm_segments": 1,
+                        "executor.shm_bytes": arena.nbytes,
+                    })
+                try:
+                    with multiprocessing.Pool(processes=jobs) as pool:
+                        chunk_results = pool.imap_unordered(
+                            compute_chunk, payloads
+                        )
+                        _collect(
+                            chunk_results, metrics_by_hash, by_hash, cache,
+                            done, total, progress,
+                        )
+                finally:
+                    if arena is not None:
+                        arena.close()
             else:
                 _collect(
                     map(compute_chunk, payloads), metrics_by_hash, by_hash,
@@ -778,6 +920,7 @@ def run_sweep(
     chunk_lanes: int | None = None,
     walk_chunk_walkers: int | None = None,
     compact_ratio: float | None = None,
+    fuse_rounds: int | None = None,
 ) -> SweepResult:
     """Execute a sweep: cache probe, then parallel batched simulation.
 
@@ -787,12 +930,14 @@ def run_sweep(
     arrive, cache hits included.
 
     The scheduling knobs — ``chunk_lanes`` (lanes per kernel chunk),
-    ``walk_chunk_walkers`` (walker cap per walk chunk) and
+    ``walk_chunk_walkers`` (walker cap per walk chunk),
     ``compact_ratio`` (the limit-cycle pipeline's lane-compaction
-    threshold) — resolve explicit argument > scenario hint > module
-    default, so benchmarks and the CLI can sweep them without editing
-    scenarios.  None of them affects any result or cache identity,
-    only how the work is batched.
+    threshold) and ``fuse_rounds`` (the kernels' round-fusion factor;
+    ``None`` keeps each kernel's tuned default) — resolve explicit
+    argument > scenario hint > module default, so benchmarks and the
+    CLI can sweep them without editing scenarios.  None of them
+    affects any result or cache identity, only how the work is
+    batched.
     """
     if chunk_lanes is None:
         chunk_lanes = spec.chunk_lanes or DEFAULT_CHUNK_LANES
@@ -806,6 +951,8 @@ def run_sweep(
             if spec.compact_ratio is not None
             else DEFAULT_COMPACT_RATIO
         )
+    if fuse_rounds is None:
+        fuse_rounds = spec.fuse_rounds
     started = time.perf_counter()
     configs = spec.configs()  # spec expansion guarantees unique cells
     metrics_by_hash, cached_hashes = run_cells(
@@ -816,6 +963,7 @@ def run_sweep(
         chunk_lanes=chunk_lanes,
         walk_chunk_walkers=walk_chunk_walkers,
         compact_ratio=compact_ratio,
+        fuse_rounds=fuse_rounds,
     )
     results = [
         ConfigResult(

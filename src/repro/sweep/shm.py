@@ -1,0 +1,220 @@
+"""Zero-copy shared-memory handoff of chunk arrays to worker processes.
+
+Parallel sweeps (``jobs > 1``) used to pickle every chunk's large
+arrays — rotor lane slabs, general-graph CSR tables — through the
+multiprocessing pipe, once per chunk.  This module moves those arrays
+into **one** :mod:`multiprocessing.shared_memory` segment owned by the
+dispatching ``run_cells`` call; payloads then carry only small
+``(segment, offset, shape, dtype)`` descriptor dicts and workers map
+the same physical pages read-only.
+
+Ownership and lifecycle
+-----------------------
+
+* The **parent** packs arrays into a :class:`SlabArena`, seals it (one
+  segment allocation + one copy per array) before the pool starts, and
+  unlinks the segment in a ``finally`` as soon as the pool has drained
+  — including when a worker crashed mid-chunk.  Unlinking only removes
+  the name; live worker mappings stay valid until those processes
+  exit, so there is no shutdown race, and a crashed worker leaks
+  nothing (its mapping dies with it).
+* **Workers** attach segments lazily by name and cache the attachment
+  for the life of the process (:func:`resolve`).  Attachment bypasses
+  :mod:`multiprocessing.resource_tracker` registration (see
+  :func:`_attach`): attaching is not ownership, and under ``fork``
+  every worker shares the parent's tracker, so worker-side
+  registrations would race the parent's own bookkeeping.
+* Resolved views are **read-only** (``writeable=False``): chunks of
+  one sweep may share arrays (general chunks share their graph table),
+  and a kernel that needs mutable state copies — exactly what the
+  kernel constructors do with any input.
+
+Segment names embed the owning pid plus a per-process sequence number.
+That is deliberate and identity-safe: names are scheduling plumbing
+that never reaches a config hash, cache path or result — the lint
+suite's D003 rule (pid/wall-clock in identity-producing functions)
+does not apply here, and ``tests/test_sweep_fused.py`` pins that this
+module stays out of the cache-identity surface.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.graphs.base import GraphCSR
+
+#: Marker key of slab descriptor dicts (chosen to never collide with
+#: payload field names).
+SLAB_KEY = "__slab__"
+
+#: Byte alignment of packed arrays inside a segment; 16 covers every
+#: dtype numpy ships, including complex128.
+_ALIGN = 16
+
+#: Per-process counter feeding unique segment names.
+_SEQUENCE = 0
+
+
+def _segment_name() -> str:
+    """A process-unique shared-memory segment name.
+
+    Embeds the pid so concurrent sweeps on one host never collide, and
+    a sequence number so nested/consecutive ``run_cells`` calls within
+    one process get distinct segments.  Kept short: POSIX shm names are
+    limited (31 bytes on macOS).
+    """
+    global _SEQUENCE
+    _SEQUENCE += 1
+    return f"repro-{os.getpid()}-{_SEQUENCE}"
+
+
+class SlabArena:
+    """Packs arrays into one shared-memory segment, two-phase.
+
+    ``add`` stages arrays and returns their descriptor dicts with the
+    segment name still unset; ``seal`` allocates the segment, copies
+    every staged array in, and fills the names in place — descriptors
+    already embedded in payloads pick the name up for free.  ``close``
+    (parent only) unlinks the segment.
+    """
+
+    def __init__(self) -> None:
+        self._parts: list[tuple[np.ndarray, dict]] = []
+        self._size = 0
+        self._segment: shared_memory.SharedMemory | None = None
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes staged (alignment padding included)."""
+        return self._size
+
+    def add(self, array: np.ndarray) -> dict:
+        """Stage one array; returns its (mutable) descriptor dict."""
+        if self._segment is not None:
+            raise RuntimeError("arena is sealed")
+        array = np.ascontiguousarray(array)
+        offset = -(-self._size // _ALIGN) * _ALIGN
+        descriptor = {
+            SLAB_KEY: True,
+            "segment": None,
+            "offset": offset,
+            "shape": list(array.shape),
+            "dtype": array.dtype.str,
+        }
+        self._parts.append((array, descriptor))
+        self._size = offset + array.nbytes
+        return descriptor
+
+    def seal(self) -> None:
+        """Allocate the segment and copy every staged array into it."""
+        if self._segment is not None:
+            raise RuntimeError("arena is already sealed")
+        name = _segment_name()
+        segment = shared_memory.SharedMemory(
+            create=True, name=name, size=max(1, self._size)
+        )
+        for array, descriptor in self._parts:
+            descriptor["segment"] = name
+            view = np.ndarray(
+                array.shape,
+                dtype=array.dtype,
+                buffer=segment.buf,
+                offset=descriptor["offset"],
+            )
+            view[...] = array
+        self._parts.clear()
+        self._segment = segment
+
+    def close(self) -> None:
+        """Unlink the segment (parent-side cleanup; idempotent)."""
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+#: Worker-side attachment cache: one mapping per segment per process,
+#: kept for the process lifetime (views into it escape to kernels).
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def is_descriptor(obj: object) -> bool:
+    """Whether ``obj`` is a slab descriptor produced by :class:`SlabArena`."""
+    return isinstance(obj, dict) and obj.get(SLAB_KEY) is True
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment WITHOUT resource-tracker registration.
+
+    CPython < 3.13 registers a segment with the resource tracker on
+    attach, not just on create.  Attachment is not ownership: under the
+    ``fork`` start method every worker shares the parent's tracker, so
+    a worker's registration/unregistration races the parent's and the
+    other workers' (double-unregister raises ``KeyError`` inside the
+    tracker process).  3.13+ exposes ``track=False`` for exactly this;
+    earlier versions get the equivalent via a scoped register no-op.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def resolve(descriptor: dict) -> np.ndarray:
+    """A read-only array view of one descriptor's shared slab."""
+    name = descriptor["segment"]
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        segment = _attach(name)
+        _ATTACHED[name] = segment
+    view: np.ndarray = np.ndarray(
+        tuple(descriptor["shape"]),
+        dtype=np.dtype(descriptor["dtype"]),
+        buffer=segment.buf,
+        offset=descriptor["offset"],
+    )
+    view.flags.writeable = False
+    return view
+
+
+def pack_csr(arena: SlabArena, csr: GraphCSR) -> dict:
+    """Stage one :class:`GraphCSR`'s arrays; returns its descriptor triple."""
+    return {
+        "indptr": arena.add(csr.indptr),
+        "neighbors": arena.add(csr.neighbors),
+        "deg": arena.add(csr.deg),
+    }
+
+
+def resolve_csr(entry: dict) -> GraphCSR:
+    """Rebuild a :class:`GraphCSR` from a :func:`pack_csr` triple.
+
+    The views are read-only, so ``GraphCSR.__post_init__`` keeps them
+    as-is — the graph's arrays are the shared pages, zero-copy.
+    """
+    return GraphCSR(
+        indptr=resolve(entry["indptr"]),
+        neighbors=resolve(entry["neighbors"]),
+        deg=resolve(entry["deg"]),
+    )
+
+
+def is_csr_descriptor(obj: object) -> bool:
+    """Whether ``obj`` is a :func:`pack_csr` descriptor triple."""
+    return isinstance(obj, dict) and is_descriptor(obj.get("indptr"))

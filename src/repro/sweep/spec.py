@@ -279,6 +279,10 @@ class ScenarioSpec:
     chunk_lanes: int | None = field(default=None, compare=False)
     walk_chunk_walkers: int | None = field(default=None, compare=False)
     compact_ratio: float | None = field(default=None, compare=False)
+    #: Round-fusion factor hint for the batch kernels; ``None`` keeps
+    #: each kernel's tuned default.  Identity-neutral like the other
+    #: hints: every fusion factor computes bit-identical results.
+    fuse_rounds: int | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.ns or any(n < 3 for n in self.ns):
@@ -330,6 +334,10 @@ class ScenarioSpec:
             from repro.sweep.batch_ring import _check_compact_ratio
 
             _check_compact_ratio(self.compact_ratio)
+        if self.fuse_rounds is not None and self.fuse_rounds < 1:
+            raise ValueError(
+                f"fuse_rounds hint must be positive, got {self.fuse_rounds}"
+            )
 
     def budget(self, n: int) -> int:
         return self.max_rounds_factor * n * n + 1024
@@ -446,6 +454,7 @@ class GeneralScenarioSpec:
     chunk_lanes: int | None = field(default=None, compare=False)
     walk_chunk_walkers: int | None = field(default=None, compare=False)
     compact_ratio: float | None = field(default=None, compare=False)
+    fuse_rounds: int | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.graphs:
@@ -456,6 +465,10 @@ class GeneralScenarioSpec:
             )
         if not self.seeds:
             raise ValueError("at least one seed is required")
+        if self.fuse_rounds is not None and self.fuse_rounds < 1:
+            raise ValueError(
+                f"fuse_rounds hint must be positive, got {self.fuse_rounds}"
+            )
 
     def budget(self, graph: Any) -> int:
         return 16 * graph.diameter() * graph.num_edges + 64

@@ -163,6 +163,70 @@ class TestStderrProgress:
         assert len(lines) == 3
         assert lines[-1].startswith("sweep: 0/3 ")
 
+    @staticmethod
+    def _scripted(progress, times):
+        """Replace the live stopwatch with scripted ``split()`` values.
+
+        The first real call (already made by the caller) pinned the
+        baseline; from here elapsed times come from ``times`` so the
+        sliding rate window is tested deterministically.
+        """
+
+        class _Watch:
+            def __init__(self, values):
+                self._values = iter(values)
+
+            def split(self):
+                return next(self._values)
+
+        progress._watch = _Watch(times)
+        progress._samples = [(0.0, 0)]
+        progress._last_emit = None
+
+    def test_fused_epoch_burst_averages_over_the_stall(self):
+        # A fused chunk is silent for a whole epoch, then completes 60
+        # cells in one progress callback.  The rate window is clamped
+        # at that boundary — it keeps the sample *preceding* the burst,
+        # so the burst reads as 60 cells / 120 s, not as instantaneous
+        # throughput (which would collapse the ETA to ~0).
+        stream = io.StringIO()
+        progress = StderrProgress(stream=stream, interval=0.0, tty=False)
+        progress(0, 100)
+        self._scripted(progress, [120.0])
+        progress(60, 100)
+        line = stream.getvalue().splitlines()[-1]
+        assert "rate=0.5/s" in line
+        assert "eta=80s" in line
+
+    def test_rate_window_sheds_stale_history(self):
+        # Slow early phase, then a fast phase: once the slow samples
+        # age past RATE_WINDOW the rate reflects only recent
+        # throughput.  A since-start rate would report ~2.1/s here.
+        stream = io.StringIO()
+        progress = StderrProgress(stream=stream, interval=0.0, tty=False)
+        progress(0, 500)
+        self._scripted(progress, [30.0, 60.0, 70.0, 75.0])
+        progress(3, 500)
+        progress(6, 500)
+        progress(106, 500)
+        progress(156, 500)
+        line = stream.getvalue().splitlines()[-1]
+        assert "rate=10.0/s" in line
+
+    def test_no_progress_reemission_shows_no_rate(self):
+        # Waiting inside an epoch with nothing new completed: the line
+        # re-emits (non-TTY heartbeat) without a rate or ETA instead of
+        # showing a decayed whole-run average.
+        stream = io.StringIO()
+        progress = StderrProgress(stream=stream, interval=0.0, tty=False)
+        progress(0, 10)
+        self._scripted(progress, [10.0, 20.0])
+        progress(0, 10)
+        progress(0, 10)
+        for line in stream.getvalue().splitlines():
+            assert "rate=" not in line
+            assert "eta=" not in line
+
     def test_resets_when_total_changes_mid_stream(self):
         stream = io.StringIO()
         progress = StderrProgress(stream=stream, interval=1000.0, tty=False)
