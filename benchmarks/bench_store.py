@@ -1,0 +1,156 @@
+"""[perf] Sharded SQLite result store vs the one-file-per-cell JSON tree.
+
+The store exists because ROADMAP-scale sweeps make the cache the wall:
+a warm rerun through the JSON tree pays one ``open``/``json.load``/
+identity-check per cell, while the SQLite backend answers the same
+whole-plan probe with a few indexed ``IN (...)`` queries per shard.
+This bench builds a >=20k-cell synthetic grid, then times cold-write,
+warm-read and mixed (half hit / half miss) workloads on both backends
+through the same batched ``CacheStore`` API.  The asserted headline is
+the acceptance floor: the batched SQLite warm read must beat the
+historical per-cell JSON path by >=10x.
+
+``BENCH_STORE_QUICK=1`` shrinks the grid and relaxes the floor for CI
+smoke runners, where a small grid undersells the batched probe (fixed
+per-query overhead dominates) and noisy neighbors blur timings.
+"""
+
+import os
+import time
+
+from conftest import record_sweep_bench
+from repro.sweep.spec import SweepConfig
+from repro.sweep.store import JsonTreeStore, SqliteStore
+
+QUICK = os.environ.get("BENCH_STORE_QUICK", "") not in ("", "0")
+
+CELLS = 2_000 if QUICK else 20_000
+#: Cells per put_many call — the executor commits one chunk at a time,
+#: so the cold-write numbers reflect its transaction cadence.
+PUT_CHUNK = 512
+MIN_WARM_SPEEDUP = 3.0 if QUICK else 10.0
+
+
+def _grid() -> list[SweepConfig]:
+    """``CELLS`` distinct cells: identity varies only by seed/n/k."""
+    return [
+        SweepConfig(
+            n=64 + (i % 7),
+            k=2 + (i % 5),
+            placement="random",
+            pointer="random",
+            seed=i,
+            metrics=("cover",),
+            max_rounds=10_000,
+        )
+        for i in range(CELLS)
+    ]
+
+
+def _metrics(i: int) -> dict:
+    # The shape of a real rotor-cell entry: {"cover": <round count>}.
+    return {"cover": 2 * i + 1}
+
+
+def _cold_write(store, cells) -> float:
+    started = time.perf_counter()
+    for at in range(0, len(cells), PUT_CHUNK):
+        chunk = cells[at:at + PUT_CHUNK]
+        store.put_many(
+            [(cell, _metrics(at + j)) for j, cell in enumerate(chunk)]
+        )
+    return time.perf_counter() - started
+
+
+def _warm_read(store, cells) -> tuple[float, int]:
+    started = time.perf_counter()
+    found, _ = store.lookup_many(cells)
+    return time.perf_counter() - started, len(found)
+
+
+def _per_cell_read(store, cells) -> tuple[float, int]:
+    """The historical executor probe: one lookup per cell."""
+    started = time.perf_counter()
+    hits = sum(
+        1 for cell in cells if store.lookup(cell)[0] is not None
+    )
+    return time.perf_counter() - started, hits
+
+
+def test_store_backends_throughput(benchmark, tmp_path):
+    cells = _grid()
+    half = cells[: CELLS // 2]
+
+    facts: dict[str, dict] = {}
+    for backend, factory in (
+        ("json", JsonTreeStore),
+        ("sqlite", SqliteStore),
+    ):
+        store = factory(str(tmp_path / backend))
+        write_s = _cold_write(store, cells)
+        warm_s, warm_hits = _warm_read(store, cells)
+        assert warm_hits == CELLS
+        facts[backend] = {
+            "cold_write_s": round(write_s, 4),
+            "warm_read_s": round(warm_s, 4),
+            "warm_cells_per_sec": round(CELLS / warm_s),
+        }
+        store.close()
+
+    # Mixed workload: a store holding only half the grid is probed for
+    # all of it — the planner's everyday shape on a resumed sweep.
+    for backend, factory in (
+        ("json", JsonTreeStore),
+        ("sqlite", SqliteStore),
+    ):
+        store = factory(str(tmp_path / f"{backend}-mixed"))
+        _cold_write(store, half)
+        mixed_s, mixed_hits = _warm_read(store, cells)
+        assert mixed_hits == len(half)
+        facts[backend]["mixed_read_s"] = round(mixed_s, 4)
+        store.close()
+
+    # The asserted ratio: batched SQLite probe vs the per-cell JSON
+    # path run_cells used before the store refactor.  Best-of-3 on the
+    # SQLite side smooths allocator/page-cache jitter.
+    json_store = JsonTreeStore(str(tmp_path / "json"))
+    per_cell_s, per_cell_hits = _per_cell_read(json_store, cells)
+    assert per_cell_hits == CELLS
+
+    sqlite_store = SqliteStore(str(tmp_path / "sqlite"))
+    timings: list[float] = []
+
+    def probe() -> int:
+        warm_s, hits = _warm_read(sqlite_store, cells)
+        timings.append(warm_s)
+        return hits
+
+    assert benchmark(probe) == CELLS
+    while len(timings) < 3:
+        probe()
+    sqlite_store.close()
+
+    batched_s = min(timings)
+    speedup = per_cell_s / batched_s
+    benchmark.extra_info["cells"] = CELLS
+    benchmark.extra_info["sqlite batched warm-read s"] = round(batched_s, 4)
+    benchmark.extra_info["json per-cell warm-read s"] = round(per_cell_s, 4)
+    benchmark.extra_info["speedup vs per-cell json"] = round(speedup, 1)
+    record_sweep_bench(
+        "store",
+        {
+            "cells": CELLS,
+            "put_chunk": PUT_CHUNK,
+            "quick": QUICK,
+            "backends": facts,
+            "json_per_cell_read_s": round(per_cell_s, 4),
+            "sqlite_batched_read_s": round(batched_s, 4),
+            "warm_read_speedup_vs_per_cell_json": round(speedup, 1),
+            "floor": MIN_WARM_SPEEDUP,
+        },
+    )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"batched sqlite warm read is only {speedup:.1f}x the per-cell "
+        f"json path ({batched_s:.3f}s vs {per_cell_s:.3f}s for "
+        f"{CELLS} cells; floor {MIN_WARM_SPEEDUP}x)"
+    )

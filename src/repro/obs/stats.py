@@ -67,22 +67,37 @@ def _cache_table(counters: dict) -> Table | None:
     names = ("cache.hits", "cache.misses", "cache.corrupt", "cache.puts")
     if not any(name in counters for name in names):
         return None
-    hits = counters.get("cache.hits", 0)
-    misses = counters.get("cache.misses", 0)
-    corrupt = counters.get("cache.corrupt", 0)
-    probes = hits + misses + corrupt
     table = Table(
-        columns=["hits", "misses", "corrupt", "puts", "hit_%"],
-        caption="result cache",
-        formats=["d", "d", "d", "d", ".1f"],
+        columns=[
+            "backend", "hits", "misses", "corrupt", "puts", "hit_%",
+            "batches", "batch_cells",
+        ],
+        caption="result cache (total row plus one row per backend seen; "
+        "batches/batch_cells count batched lookup_many probes)",
+        formats=[None, "d", "d", "d", "d", ".1f", "d", "d"],
     )
-    table.add_row(
-        hits,
-        misses,
-        corrupt,
-        counters.get("cache.puts", 0),
-        100.0 * hits / probes if probes else None,
-    )
+
+    def add_row(label: str, prefix: str, batched: bool) -> None:
+        hits = counters.get(f"{prefix}.hits", 0)
+        misses = counters.get(f"{prefix}.misses", 0)
+        corrupt = counters.get(f"{prefix}.corrupt", 0)
+        probes = hits + misses + corrupt
+        table.add_row(
+            label,
+            hits,
+            misses,
+            corrupt,
+            counters.get(f"{prefix}.puts", 0) if batched else None,
+            100.0 * hits / probes if probes else None,
+            counters.get("cache.batch_lookups", 0) if batched else None,
+            counters.get("cache.batch_size", 0) if batched else None,
+        )
+
+    add_row("total", "cache", batched=True)
+    for backend in ("json", "sqlite"):
+        prefix = f"cache.{backend}"
+        if any(key.startswith(f"{prefix}.") for key in counters):
+            add_row(backend, prefix, batched=False)
     return table
 
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any, Iterable, Mapping
 
 #: Bump when any explicit cell's identity layout or measurement
@@ -100,7 +101,7 @@ class RotorCell:
             "max_rounds": self.max_rounds,
         }
 
-    @property
+    @cached_property
     def config_hash(self) -> str:
         return _hash_identity(self.identity())
 
@@ -170,7 +171,7 @@ class WalkCoverCell:
             "max_rounds": self.max_rounds,
         }
 
-    @property
+    @cached_property
     def config_hash(self) -> str:
         return _hash_identity(self.identity())
 
@@ -242,7 +243,7 @@ class WalkGapsCell:
             "seed": self.seed,
         }
 
-    @property
+    @cached_property
     def config_hash(self) -> str:
         return _hash_identity(self.identity())
 
@@ -354,7 +355,7 @@ class GeneralRotorCell:
             "max_rounds": self.max_rounds,
         }
 
-    @property
+    @cached_property
     def config_hash(self) -> str:
         return _hash_identity(self.identity())
 

@@ -1,11 +1,12 @@
-"""Parallel sweep executor with an on-disk JSON result cache.
+"""Parallel sweep executor over a pluggable, batched result store.
 
 ``run_sweep`` turns a :class:`repro.sweep.spec.ScenarioSpec` into
 results in three stages:
 
-1. **cache probe** — every expanded cell is looked up in the cache
-   directory by its ``config_hash``; hits are served without any
-   simulation, which is what makes repeated and resumed sweeps free;
+1. **cache probe** — the whole deduplicated cell list is probed in one
+   :meth:`repro.sweep.store.CacheStore.lookup_many` call; hits are
+   served without any simulation, which is what makes repeated and
+   resumed sweeps free;
 2. **batch planning** — cache misses are grouped by model, ring size,
    round budget and metric set, then chunked; a rotor chunk becomes
    one :class:`repro.sweep.batch_ring.BatchRingKernel` invocation
@@ -18,20 +19,22 @@ results in three stages:
    invocation over a digest-keyed graph table (graphs serialize once
    per chunk, lanes of *different* graphs share rounds);
 3. **execution** — chunks run in-process (``jobs <= 1``) or across a
-   ``multiprocessing`` pool, with per-chunk progress reporting; fresh
-   results are written back to the cache as they arrive.
+   ``multiprocessing`` pool, with per-chunk progress reporting; each
+   chunk's results are written back in one batched
+   :meth:`~repro.sweep.store.CacheStore.put_many` call.
 
-Cache entries are one JSON file per cell (``<hash prefix>/<hash>.json``)
-holding the cell's identity plus its metrics, so a cache directory is
-portable, inspectable and safely shared between scenarios: any two
-specs containing the same cell exchange results through it.
+The store itself is pluggable (:mod:`repro.sweep.store`): a plain
+``cache_dir`` path selects the portable one-JSON-file-per-cell tree,
+a ``sqlite://<dir>`` spec the sharded SQLite store whose batched
+probes and transactional writes keep warm million-cell sweeps out of
+syscall territory.  Reports are bit-identical whichever backend served
+them.  :class:`ResultCache` remains as the JSON backend's historical
+name.
 """
 
 from __future__ import annotations
 
-import json
 import multiprocessing
-import os
 import sys
 import time
 from contextlib import nullcontext
@@ -54,6 +57,7 @@ from repro.sweep import shm
 from repro.sweep.batch_walk import BatchRingWalks, walk_lanes_from_cells
 from repro.sweep.cells import cell_from_dict
 from repro.sweep.spec import ScenarioSpec, SweepConfig
+from repro.sweep.store import CacheStore, JsonTreeStore, open_store
 from repro.util.stats import normal_ci, summarize
 from repro.util.tables import Table
 from repro.util.timing import Stopwatch
@@ -85,68 +89,9 @@ def _prefer_serial_covers(n: int, configs: Sequence) -> bool:
 
 ProgressFn = Callable[[int, int], None]
 
-
-class ResultCache:
-    """One JSON file per sweep cell, keyed by its config hash."""
-
-    def __init__(self, directory: str) -> None:
-        self.directory = directory
-        os.makedirs(directory, exist_ok=True)
-
-    def path(self, config_hash: str) -> str:
-        return os.path.join(
-            self.directory, config_hash[:2], f"{config_hash}.json"
-        )
-
-    def get(self, config: SweepConfig) -> dict | None:
-        """The cached metrics for ``config``, or None on a miss.
-
-        Unreadable or mismatched entries count as misses (and are
-        recomputed) rather than failing the sweep.
-        """
-        return self.lookup(config)[0]
-
-    def lookup(self, config: SweepConfig) -> tuple[dict | None, str]:
-        """Cached metrics plus a probe status: hit, miss or corrupt.
-
-        ``corrupt`` covers unreadable files, malformed JSON, identity
-        mismatches and bad metric payloads — all recomputed exactly
-        like misses, but telemetry counts them separately so cache rot
-        is visible instead of silently re-simulated.
-        """
-        path = self.path(config.config_hash)
-        try:
-            with open(path) as handle:
-                entry = json.load(handle)
-        except FileNotFoundError:
-            return None, "miss"
-        except (OSError, ValueError):
-            return None, "corrupt"
-        if (
-            not isinstance(entry, dict)
-            or entry.get("config") != config.identity()
-        ):
-            return None, "corrupt"
-        metrics = entry.get("metrics")
-        if not isinstance(metrics, dict):
-            return None, "corrupt"
-        return metrics, "hit"
-
-    def put(self, config: SweepConfig, metrics: dict) -> str:
-        path = self.path(config.config_hash)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        payload = {"config": config.identity(), "metrics": metrics}
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle, sort_keys=True)
-        os.replace(tmp, path)  # atomic: concurrent writers agree anyway
-        return path
-
-    def __len__(self) -> int:
-        total = 0
-        for _, _, files in os.walk(self.directory):
-            total += sum(name.endswith(".json") for name in files)
-        return total
+#: The JSON tree store under its historical executor name: existing
+#: imports (and cache directories) keep working unchanged.
+ResultCache = JsonTreeStore
 
 
 @dataclass(frozen=True)
@@ -804,6 +749,12 @@ def run_cells(
 
     Returns ``(metrics_by_hash, cached_hashes)``: every requested
     hash's metrics, plus the subset served from the cache.
+
+    ``cache_dir`` is a store spec: a plain directory path opens the
+    JSON tree backend, a ``sqlite://<dir>`` (or ``json://<dir>``)
+    prefix selects a backend explicitly (see
+    :mod:`repro.sweep.store`).  Results are bit-identical across
+    backends; only probe/commit latency differs.
     """
     if jobs < 0:
         raise ValueError(f"jobs must be non-negative, got {jobs}")
@@ -818,40 +769,67 @@ def run_cells(
             f"fuse_rounds must be at least 1, got {fuse_rounds}"
         )
     _check_compact_ratio(compact_ratio)
-    cache = ResultCache(cache_dir) if cache_dir else None
+    cache: CacheStore | None = open_store(cache_dir) if cache_dir else None
+    try:
+        return _run_cells_with_store(
+            cells, cache, jobs, progress, chunk_lanes, walk_chunk_walkers,
+            compact_ratio, fuse_rounds,
+        )
+    finally:
+        if cache is not None:
+            cache.close()
+
+
+def _run_cells_with_store(
+    cells: Sequence,
+    cache: CacheStore | None,
+    jobs: int,
+    progress: ProgressFn | None,
+    chunk_lanes: int,
+    walk_chunk_walkers: int,
+    compact_ratio: float,
+    fuse_rounds: int | None,
+) -> tuple[dict[str, dict], set[str]]:
+    """The body of :func:`run_cells`, over an already opened store."""
     session = obs.current_session()
-    total = len({cell.config_hash for cell in cells})
+
+    unique: list = []
+    seen: set[str] = set()
+    for cell in cells:
+        if cell.config_hash not in seen:
+            seen.add(cell.config_hash)
+            unique.append(cell)
+    total = len(unique)
 
     metrics_by_hash: dict[str, dict] = {}
     cached_hashes: set[str] = set()
     misses: list = []
-    seen: set[str] = set()
-    hits = probe_misses = corrupt = 0
     with obs.span("cache.get", cells=total, enabled=cache is not None):
-        for cell in cells:
-            if cell.config_hash in seen:
-                continue
-            seen.add(cell.config_hash)
-            if cache is not None:
-                entry, status = cache.lookup(cell)
-                if status == "hit":
-                    hits += 1
-                elif status == "corrupt":
-                    corrupt += 1
-                else:
-                    probe_misses += 1
-            else:
-                entry = None
-            if entry is not None:
-                metrics_by_hash[cell.config_hash] = entry
-                cached_hashes.add(cell.config_hash)
-            else:
-                misses.append(cell)
+        if cache is not None:
+            # One batched probe for the whole plan: the SQLite backend
+            # answers it with a few indexed queries per shard, the JSON
+            # tree with its historical per-cell reads.
+            found, statuses = cache.lookup_many(unique)
+            metrics_by_hash.update(found)
+            cached_hashes.update(found)
+            misses = [
+                cell for cell in unique if cell.config_hash not in found
+            ]
+        else:
+            misses = list(unique)
     if cache is not None:
+        hits = sum(1 for s in statuses.values() if s == "hit")
+        corrupt = sum(1 for s in statuses.values() if s == "corrupt")
+        probe_misses = total - hits - corrupt
         obs.count_many({
+            "cache.batch_lookups": 1,
+            "cache.batch_size": total,
             "cache.hits": hits,
             "cache.misses": probe_misses,
             "cache.corrupt": corrupt,
+            f"cache.{cache.backend}.hits": hits,
+            f"cache.{cache.backend}.misses": probe_misses,
+            f"cache.{cache.backend}.corrupt": corrupt,
         })
     done = total - len(misses)
     if progress:
@@ -987,7 +965,7 @@ def _collect(
     chunk_results,
     metrics_by_hash: dict[str, dict],
     by_hash: dict[str, SweepConfig],
-    cache: ResultCache | None,
+    cache: CacheStore | None,
     done: int,
     total: int,
     progress: ProgressFn | None,
@@ -1001,10 +979,16 @@ def _collect(
         with put_span:
             for config_hash, metrics in pairs:
                 metrics_by_hash[config_hash] = metrics
-                if cache is not None:
-                    cache.put(by_hash[config_hash], metrics)
-                    obs.count("cache.puts")
-                done += 1
+            if cache is not None:
+                # One transaction per chunk instead of N file replaces.
+                cache.put_many(
+                    [(by_hash[h], metrics) for h, metrics in pairs]
+                )
+                obs.count_many({
+                    "cache.puts": len(pairs),
+                    "cache.batch_puts": 1,
+                })
+            done += len(pairs)
         if progress:
             progress(done, total)
     return done

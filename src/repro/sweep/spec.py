@@ -30,6 +30,7 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Callable, Sequence
 
 from repro.core import placement as _placement
@@ -167,8 +168,11 @@ class SweepConfig:
             "max_rounds": self.max_rounds,
         }
 
-    @property
+    @cached_property
     def config_hash(self) -> str:
+        # Cached: the executor, store probes and result assembly all
+        # key on the hash, and the identity is frozen — recomputing
+        # the dump + digest per access dominated batched cache probes.
         text = json.dumps(self.identity(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 

@@ -1,0 +1,516 @@
+"""Result-store backends: protocol, equivalence, migration, tooling."""
+
+import json
+import multiprocessing
+import os
+import random
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.sweep.executor import run_sweep
+from repro.sweep.spec import InitFamily, ScenarioSpec, SweepConfig
+from repro.sweep.store import (
+    STORE_SCHEMA_VERSION,
+    JsonTreeStore,
+    SqliteStore,
+    detect_backend,
+    format_store_spec,
+    migrate_json_to_sqlite,
+    open_store,
+    parse_store_spec,
+    store_info,
+    vacuum_store,
+)
+
+BACKENDS = {"json": JsonTreeStore, "sqlite": SqliteStore}
+
+
+def _config(seed: int, **overrides) -> SweepConfig:
+    base = dict(
+        n=16,
+        k=2,
+        placement="random",
+        pointer="random",
+        seed=seed,
+        metrics=("cover",),
+        max_rounds=4096,
+    )
+    base.update(overrides)
+    return SweepConfig(**base)
+
+
+def _cover_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="store-test",
+        ns=(16, 24),
+        ks=(2, 3),
+        families=(
+            InitFamily("all_on_one", "toward_node0"),
+            InitFamily("equally_spaced", "negative"),
+        ),
+        metrics=("cover",),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestSpecStrings:
+    def test_plain_path_is_json(self):
+        assert parse_store_spec("/some/dir") == ("json", "/some/dir")
+
+    def test_prefixed_specs(self):
+        assert parse_store_spec("sqlite:///d/c") == ("sqlite", "/d/c")
+        assert parse_store_spec("json://rel/c") == ("json", "rel/c")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            parse_store_spec("redis://host/db")
+
+    def test_empty_directory_rejected(self):
+        with pytest.raises(ValueError, match="names no directory"):
+            parse_store_spec("sqlite://")
+
+    def test_format_round_trips(self):
+        for backend in BACKENDS:
+            spec = format_store_spec(backend, "/d/c")
+            assert parse_store_spec(spec) == (backend, "/d/c")
+        with pytest.raises(ValueError, match="unknown store backend"):
+            format_store_spec("redis", "/d/c")
+
+    def test_open_store_dispatches(self, tmp_path):
+        json_store = open_store(str(tmp_path / "a"))
+        sqlite_store = open_store(f"sqlite://{tmp_path / 'b'}")
+        assert isinstance(json_store, JsonTreeStore)
+        assert isinstance(sqlite_store, SqliteStore)
+        sqlite_store.close()
+
+    def test_detect_backend(self, tmp_path):
+        assert detect_backend(str(tmp_path / "absent")) == "json"
+        store = SqliteStore(str(tmp_path / "db"))
+        store.put(_config(0), {"cover": 1})
+        store.close()
+        assert detect_backend(str(tmp_path / "db")) == "sqlite"
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+class TestRoundTrip:
+    def test_put_many_lookup_many(self, backend, tmp_path):
+        store = BACKENDS[backend](str(tmp_path / backend))
+        cells = [_config(seed) for seed in range(20)]
+        store.put_many([(c, {"cover": c.seed * 3}) for c in cells])
+        found, statuses = store.lookup_many(cells)
+        assert len(found) == 20
+        assert all(status == "hit" for status in statuses.values())
+        for cell in cells:
+            assert found[cell.config_hash] == {"cover": cell.seed * 3}
+        assert store.count() == 20
+        assert len(store) == 20
+        store.close()
+
+    def test_missing_cells_report_miss(self, backend, tmp_path):
+        store = BACKENDS[backend](str(tmp_path / backend))
+        present = [_config(seed) for seed in range(4)]
+        absent = [_config(seed) for seed in range(100, 104)]
+        store.put_many([(c, {"cover": 1}) for c in present])
+        found, statuses = store.lookup_many(present + absent)
+        assert set(found) == {c.config_hash for c in present}
+        for cell in absent:
+            assert statuses[cell.config_hash] == "miss"
+        store.close()
+
+    def test_duplicate_probes_collapse(self, backend, tmp_path):
+        store = BACKENDS[backend](str(tmp_path / backend))
+        cell = _config(7)
+        store.put(cell, {"cover": 9})
+        found, statuses = store.lookup_many([cell, cell, cell])
+        assert found == {cell.config_hash: {"cover": 9}}
+        assert statuses == {cell.config_hash: "hit"}
+        store.close()
+
+    def test_put_replaces(self, backend, tmp_path):
+        store = BACKENDS[backend](str(tmp_path / backend))
+        cell = _config(1)
+        store.put(cell, {"cover": 1})
+        store.put(cell, {"cover": 2})
+        assert store.get(cell) == {"cover": 2}
+        assert store.count() == 1
+        store.close()
+
+    def test_close_is_idempotent(self, backend, tmp_path):
+        store = BACKENDS[backend](str(tmp_path / backend))
+        store.close()
+        store.close()
+
+
+class TestCorruptEntries:
+    def test_json_garbage_file_reports_corrupt(self, tmp_path):
+        store = JsonTreeStore(str(tmp_path))
+        cell = _config(0)
+        path = store.put(cell, {"cover": 5})
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        found, statuses = store.lookup_many([cell])
+        assert found == {}
+        assert statuses == {cell.config_hash: "corrupt"}
+
+    def test_json_identity_mismatch_reports_corrupt(self, tmp_path):
+        store = JsonTreeStore(str(tmp_path))
+        cell, other = _config(0), _config(1)
+        path = store.put(cell, {"cover": 5})
+        # An entry filed under cell's hash but carrying other's
+        # identity: served to neither.
+        entry = {"config": other.identity(), "metrics": {"cover": 5}}
+        with open(path, "w") as handle:
+            json.dump(entry, handle)
+        assert store.lookup(cell) == (None, "corrupt")
+
+    def test_json_non_dict_metrics_reports_corrupt(self, tmp_path):
+        store = JsonTreeStore(str(tmp_path))
+        cell = _config(0)
+        path = store.put(cell, {"cover": 5})
+        with open(path, "w") as handle:
+            json.dump({"config": cell.identity(), "metrics": [1, 2]}, handle)
+        assert store.lookup(cell) == (None, "corrupt")
+
+    def _tamper(self, directory, config_hash, metrics_text):
+        store = SqliteStore(directory)
+        shard = store.shard_of(config_hash)
+        conn = store._conn(shard)
+        conn.execute("BEGIN IMMEDIATE")
+        conn.execute(
+            "UPDATE cells SET metrics = ? WHERE hash = ?",
+            (metrics_text, config_hash),
+        )
+        conn.execute("COMMIT")
+        store.close()
+
+    def test_sqlite_unparseable_metrics_reports_corrupt(self, tmp_path):
+        cells = [_config(seed) for seed in range(6)]
+        store = SqliteStore(str(tmp_path))
+        store.put_many([(c, {"cover": c.seed}) for c in cells])
+        store.close()
+        self._tamper(str(tmp_path), cells[2].config_hash, "{broken")
+        store = SqliteStore(str(tmp_path))
+        found, statuses = store.lookup_many(cells)
+        assert statuses[cells[2].config_hash] == "corrupt"
+        assert cells[2].config_hash not in found
+        # The other rows are still served.
+        for cell in cells:
+            if cell is not cells[2]:
+                assert statuses[cell.config_hash] == "hit"
+                assert found[cell.config_hash] == {"cover": cell.seed}
+        store.close()
+
+    def test_sqlite_non_dict_metrics_reports_corrupt(self, tmp_path):
+        cells = [_config(seed) for seed in range(6)]
+        store = SqliteStore(str(tmp_path))
+        store.put_many([(c, {"cover": c.seed}) for c in cells])
+        store.close()
+        self._tamper(str(tmp_path), cells[4].config_hash, "[1,2,3]")
+        store = SqliteStore(str(tmp_path))
+        found, statuses = store.lookup_many(cells)
+        assert statuses[cells[4].config_hash] == "corrupt"
+        assert cells[4].config_hash not in found
+        assert len(found) == 5
+        store.close()
+
+    def test_sqlite_schema_mismatch_refuses(self, tmp_path):
+        store = SqliteStore(str(tmp_path))
+        cell = _config(0)
+        store.put(cell, {"cover": 1})
+        shard_path = store.shard_path(store.shard_of(cell.config_hash))
+        store.close()
+        conn = sqlite3.connect(shard_path)
+        conn.execute(f"PRAGMA user_version = {STORE_SCHEMA_VERSION + 41}")
+        conn.close()
+        fresh = SqliteStore(str(tmp_path))
+        with pytest.raises(ValueError, match="schema"):
+            fresh.lookup_many([cell])
+
+
+class TestStaleTmpSweep:
+    def test_dead_writer_tmp_swept_on_open(self, tmp_path):
+        store = JsonTreeStore(str(tmp_path))
+        cell = _config(0)
+        path = store.put(cell, {"cover": 1})
+        # Pid 1 is init (not ours, alive) and 2**22+5 is far beyond
+        # pid_max defaults — a crashed writer's leftover.
+        dead = f"{path}.tmp.{2**22 + 5}"
+        with open(dead, "w") as handle:
+            handle.write("{partial")
+        reopened = JsonTreeStore(str(tmp_path))
+        assert reopened.swept_on_open == 1
+        assert not os.path.exists(dead)
+        assert reopened.get(cell) == {"cover": 1}
+
+    def test_live_writer_tmp_left_alone(self, tmp_path):
+        store = JsonTreeStore(str(tmp_path))
+        cell = _config(0)
+        path = store.put(cell, {"cover": 1})
+        live = f"{path}.tmp.{os.getpid()}"
+        with open(live, "w") as handle:
+            handle.write("{in-flight")
+        reopened = JsonTreeStore(str(tmp_path))
+        assert reopened.swept_on_open == 0
+        assert os.path.exists(live)
+        assert reopened.count_tmp() == 1
+
+    def test_foreign_tmp_names_ignored(self, tmp_path):
+        store = JsonTreeStore(str(tmp_path))
+        cell = _config(0)
+        path = store.put(cell, {"cover": 1})
+        foreign = f"{path}.tmp.editor-backup"
+        with open(foreign, "w") as handle:
+            handle.write("x")
+        reopened = JsonTreeStore(str(tmp_path))
+        assert reopened.swept_on_open == 0
+        assert os.path.exists(foreign)
+
+
+class TestMigration:
+    def test_round_trip_identical_lookup(self, tmp_path):
+        cells = [_config(seed) for seed in range(30)]
+        source = JsonTreeStore(str(tmp_path / "json"))
+        source.put_many([(c, {"cover": c.seed + 100}) for c in cells])
+        report = migrate_json_to_sqlite(
+            str(tmp_path / "json"), str(tmp_path / "db")
+        )
+        assert report.migrated == 30
+        assert report.corrupt == 0
+        assert report.summary_line() == "migrated=30 corrupt=0"
+        dest = SqliteStore(str(tmp_path / "db"))
+        json_view = source.lookup_many(cells)
+        sqlite_view = dest.lookup_many(cells)
+        assert sqlite_view == json_view
+        assert dest.count() == source.count() == 30
+        dest.close()
+
+    def test_corrupt_source_entry_skipped_and_counted(self, tmp_path):
+        cells = [_config(seed) for seed in range(5)]
+        source = JsonTreeStore(str(tmp_path / "json"))
+        source.put_many([(c, {"cover": c.seed}) for c in cells])
+        # Corrupt one entry in place: its stored identity no longer
+        # digests to its filename hash.
+        broken = cells[3]
+        with open(source.path(broken.config_hash), "w") as handle:
+            json.dump(
+                {"config": cells[0].identity(), "metrics": {"cover": 0}},
+                handle,
+            )
+        report = migrate_json_to_sqlite(
+            str(tmp_path / "json"), str(tmp_path / "db")
+        )
+        assert report.migrated == 4
+        assert report.corrupt == 1
+        dest = SqliteStore(str(tmp_path / "db"))
+        found, statuses = dest.lookup_many(cells)
+        # The corrupt entry was never migrated: a clean miss, to be
+        # recomputed.  The valid ones hit identically.
+        assert statuses[broken.config_hash] == "miss"
+        for cell in cells:
+            if cell is not broken:
+                assert found[cell.config_hash] == {"cover": cell.seed}
+        dest.close()
+
+    def test_unreadable_source_file_counts_corrupt(self, tmp_path):
+        source = JsonTreeStore(str(tmp_path / "json"))
+        cell = _config(0)
+        path = source.put(cell, {"cover": 1})
+        with open(path, "w") as handle:
+            handle.write("{half a wri")
+        report = migrate_json_to_sqlite(
+            str(tmp_path / "json"), str(tmp_path / "db")
+        )
+        assert report.migrated == 0
+        assert report.corrupt == 1
+
+
+class TestBackendEquivalence:
+    """Randomized suite: both backends serve byte-identical answers."""
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_randomized_probe_equivalence(self, trial, tmp_path):
+        rng = random.Random(1000 + trial)
+        pool = [
+            _config(
+                seed=rng.randrange(10_000),
+                n=rng.choice((16, 24, 32)),
+                k=rng.choice((2, 3, 4)),
+            )
+            for _ in range(40)
+        ]
+        stored = [c for c in pool if rng.random() < 0.6]
+        payloads = {
+            c.config_hash: {"cover": rng.randrange(10_000), "n": c.n}
+            for c in stored
+        }
+        json_store = JsonTreeStore(str(tmp_path / "json"))
+        sqlite_store = SqliteStore(str(tmp_path / "sqlite"))
+        for store in (json_store, sqlite_store):
+            store.put_many([(c, payloads[c.config_hash]) for c in stored])
+        probe = list(pool)
+        rng.shuffle(probe)
+        json_view = json_store.lookup_many(probe)
+        sqlite_view = sqlite_store.lookup_many(probe)
+        assert sqlite_view == json_view
+        assert json_store.count() == sqlite_store.count()
+        hits = sum(1 for s in json_view[1].values() if s == "hit")
+        assert hits == len({c.config_hash for c in stored})
+        sqlite_store.close()
+
+
+def _write_slice(args):
+    directory, start = args
+    store = SqliteStore(directory)
+    cells = [_config(seed) for seed in range(start, start + 25)]
+    store.put_many([(c, {"cover": c.seed}) for c in cells])
+    store.close()
+    return len(cells)
+
+
+class TestConcurrentWriters:
+    def test_two_processes_one_store(self, tmp_path):
+        # 50 cells across 16 shards guarantee both writers hit the
+        # same shard files; WAL + busy timeout serialize them.
+        directory = str(tmp_path / "db")
+        with multiprocessing.Pool(processes=2) as pool:
+            written = pool.map(
+                _write_slice, [(directory, 0), (directory, 25)]
+            )
+        assert written == [25, 25]
+        store = SqliteStore(directory)
+        cells = [_config(seed) for seed in range(50)]
+        found, statuses = store.lookup_many(cells)
+        assert len(found) == 50
+        assert all(status == "hit" for status in statuses.values())
+        for cell in cells:
+            assert found[cell.config_hash] == {"cover": cell.seed}
+        store.close()
+
+
+class TestExecutorIntegration:
+    def test_run_sweep_sqlite_cache_hits_second_time(self, tmp_path):
+        spec = _cover_spec()
+        cache = f"sqlite://{tmp_path / 'cache'}"
+        first = run_sweep(spec, cache_dir=cache)
+        assert first.cache_misses == spec.num_configs
+        assert first.cache_hits == 0
+        second = run_sweep(spec, cache_dir=cache, jobs=2)
+        assert second.cache_misses == 0
+        assert second.cache_hits == spec.num_configs
+
+    def test_backends_render_identical_tables(self, tmp_path):
+        spec = _cover_spec()
+        json_result = run_sweep(spec, cache_dir=str(tmp_path / "json"))
+        sqlite_result = run_sweep(
+            spec, cache_dir=f"sqlite://{tmp_path / 'db'}", jobs=2
+        )
+        assert (
+            json_result.table().render() == sqlite_result.table().render()
+        )
+        for a, b in zip(json_result.results, sqlite_result.results):
+            assert a.metrics == b.metrics
+
+    def test_warm_sqlite_rerun_serves_from_cache_alone(self, tmp_path):
+        spec = _cover_spec(ns=(16,), ks=(2,))
+        cache = f"sqlite://{tmp_path / 'cache'}"
+        run_sweep(spec, cache_dir=cache)
+        warm = run_sweep(spec, cache_dir=cache)
+        cold = run_sweep(spec, cache_dir=None)
+        for cached, computed in zip(warm.results, cold.results):
+            assert cached.cached
+            assert cached.metrics == computed.metrics
+
+
+class TestTooling:
+    def test_store_info_both_backends(self, tmp_path):
+        cells = [_config(seed) for seed in range(8)]
+        json_dir = str(tmp_path / "json")
+        JsonTreeStore(json_dir).put_many([(c, {"cover": 1}) for c in cells])
+        db_dir = str(tmp_path / "db")
+        store = SqliteStore(db_dir)
+        store.put_many([(c, {"cover": 1}) for c in cells])
+        store.close()
+        json_info = store_info(json_dir)
+        assert json_info["backend"] == "json"
+        assert json_info["entries"] == 8
+        assert json_info["tmp_files"] == 0
+        db_info = store_info(db_dir)
+        assert db_info["backend"] == "sqlite"
+        assert db_info["entries"] == 8
+        assert db_info["schema"] == STORE_SCHEMA_VERSION
+        assert db_info["shards"] >= 1
+        assert db_info["bytes"] > 0
+
+    def test_vacuum_both_backends(self, tmp_path):
+        cell = _config(0)
+        json_dir = str(tmp_path / "json")
+        store = JsonTreeStore(json_dir)
+        path = store.put(cell, {"cover": 1})
+        with open(f"{path}.tmp.{2**22 + 5}", "w") as handle:
+            handle.write("{dead")
+        assert vacuum_store(json_dir) == {"backend": "json", "swept_tmp": 1}
+        db_dir = str(tmp_path / "db")
+        db = SqliteStore(db_dir)
+        db.put(cell, {"cover": 1})
+        db.close()
+        assert vacuum_store(db_dir) == {
+            "backend": "sqlite",
+            "vacuumed_shards": 1,
+        }
+
+
+class TestCacheCli:
+    def test_info_and_vacuum(self, tmp_path, capsys):
+        directory = str(tmp_path / "cache")
+        JsonTreeStore(directory).put(_config(0), {"cover": 1})
+        assert main(["cache", "info", directory]) == 0
+        out = capsys.readouterr().out
+        assert "backend=json" in out
+        assert "entries=1" in out
+        assert main(["cache", "vacuum", directory]) == 0
+        assert "swept_tmp=0" in capsys.readouterr().out
+
+    def test_migrate_then_sqlite_run_is_all_cached(self, tmp_path, capsys):
+        json_cache = str(tmp_path / "json")
+        db_cache = str(tmp_path / "db")
+        args = ["sweep", "table1", "--quick", "--cache", json_cache]
+        assert main(args) == 0
+        assert "computed=6 cached=0" in capsys.readouterr().out
+        assert main(["cache", "migrate", json_cache, db_cache]) == 0
+        assert "migrated=6 corrupt=0" in capsys.readouterr().out
+        again = [
+            "sweep", "table1", "--quick",
+            "--cache", db_cache, "--store", "sqlite",
+        ]
+        assert main(again) == 0
+        assert "computed=0 cached=6" in capsys.readouterr().out
+
+    def test_store_flag_renders_identically(self, tmp_path, capsys):
+        json_args = [
+            "sweep", "table1", "--quick",
+            "--cache", str(tmp_path / "a"), "--store", "json",
+        ]
+        sqlite_args = [
+            "sweep", "table1", "--quick",
+            "--cache", str(tmp_path / "b"), "--store", "sqlite",
+        ]
+        assert main(json_args) == 0
+        json_out = capsys.readouterr().out
+        assert main(sqlite_args) == 0
+        sqlite_out = capsys.readouterr().out
+        # Identical reports up to the elapsed/cache note line.
+        strip = lambda text: [  # noqa: E731
+            line for line in text.splitlines()
+            if not line.startswith("note: completed")
+        ]
+        assert strip(json_out) == strip(sqlite_out)
+
+    def test_cache_info_on_missing_store_fails_cleanly(
+        self, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "nope")
+        assert main(["cache", "info", missing]) == 0  # reads as empty json
+        assert "entries=0" in capsys.readouterr().out
