@@ -80,13 +80,17 @@ class BackendStats:
     computed: int
     cached: int
     elapsed: float
+    failed: int = 0
 
     def summary_line(self) -> str:
         """The one-line accounting the CLI prints after each run."""
-        return (
+        line = (
             f"backend={self.backend} computed={self.computed} "
-            f"cached={self.cached} elapsed={self.elapsed:.2f}s"
+            f"cached={self.cached}"
         )
+        if self.failed:
+            line += f" failed={self.failed}"
+        return line + f" elapsed={self.elapsed:.2f}s"
 
 
 class MeasurementHandle:
@@ -307,6 +311,7 @@ class MeasurementPlan:
         with obs.span(
             "plan.execute", backend=self.backend, cells=len(cells)
         ):
+            failed = 0
             if self.backend == "reference":
                 self._results = {
                     cell.config_hash: _reference_metrics(cell)
@@ -319,24 +324,34 @@ class MeasurementPlan:
                     run_cells,
                 )
 
-                self._results, cached = run_cells(
+                self._results, cached, failure_report = run_cells(
                     cells,
                     jobs=self.jobs,
                     cache_dir=self.cache_dir,
                     progress=self.progress,
                     chunk_lanes=self.chunk_lanes or DEFAULT_CHUNK_LANES,
                 )
+                failed = failure_report.failed
         obs.count_many({
             "plan.cells": len(cells),
-            "plan.computed": len(cells) - len(cached),
+            "plan.computed": len(cells) - len(cached) - failed,
             "plan.cached": len(cached),
         })
         self._stats = BackendStats(
             backend=self.backend,
-            computed=len(cells) - len(cached),
+            computed=len(cells) - len(cached) - failed,
             cached=len(cached),
             elapsed=time.perf_counter() - started,
+            failed=failed,
         )
+        if failed:
+            # An experiment needs every scheduled measurement: a sweep
+            # may tolerate quarantined cells, a paper table cannot.
+            raise RuntimeError(
+                "measurement plan quarantined "
+                f"{failed} cell(s): "
+                + "; ".join(failure_report.summary_lines())
+            )
         return self._stats
 
     def _metrics_for(self, config_hash: str) -> dict:

@@ -14,6 +14,8 @@ console script)::
     python -m repro all --store sqlite   # sharded SQLite result store
     python -m repro cache info .sweep-cache   # store backend & layout
     python -m repro cache migrate .sweep-cache out/db   # JSON -> SQLite
+    python -m repro cache verify .sweep-cache --repair  # integrity scan
+    python -m repro sweep table1 --jobs 4 --chunk-timeout 60 --max-retries 3
     python -m repro lint src/repro       # determinism static analysis
     python -m repro lint --update-lock   # re-pin cache_identity.lock
 
@@ -32,8 +34,12 @@ repeating or resuming a sweep only computes the missing cells.
 ``--store sqlite`` swaps the one-file-per-cell JSON tree for the
 sharded SQLite store of :mod:`repro.sweep.store` (batched probes and
 commits, bit-identical results); ``python -m repro cache`` inspects,
-migrates and compacts either layout.  Both commands end with a
-one-line ``computed=X cached=Y`` accounting.
+migrates, compacts and integrity-checks either layout (``verify
+[--repair]`` re-digests every row and quarantines corrupt ones).
+Both commands end with a one-line ``computed=X cached=Y`` accounting
+— plus ``failed=Z`` when the fault-tolerant executor had to
+quarantine cells (``--max-retries``/``--chunk-timeout`` tune its
+supervision; see :mod:`repro.sweep.faults`).
 
 ``--trace PATH`` (on ``run``/``all``/``sweep``) records a
 :mod:`repro.obs` manifest — executor spans, kernel counters, cache
@@ -192,6 +198,8 @@ def _cmd_sweep(
     csv_dir: str | None,
     chunk_lanes: int | None = None,
     fuse_rounds: int | None = None,
+    max_retries: int | None = None,
+    chunk_timeout: float | None = None,
 ) -> int:
     from repro.sweep import registry
     from repro.sweep.aggregate import summary_tables
@@ -202,6 +210,7 @@ def _cmd_sweep(
     result = run_sweep(
         spec, jobs=jobs, cache_dir=cache_dir, progress=StderrProgress(),
         chunk_lanes=chunk_lanes, fuse_rounds=fuse_rounds,
+        max_retries=max_retries, chunk_timeout=chunk_timeout,
     )
     report = Report(
         title=f"sweep '{name}'"
@@ -220,11 +229,20 @@ def _cmd_sweep(
         f"(jobs={jobs}, cache={cache_dir or 'disabled'})"
     )
     print(report.render())
+    # Quarantine details go to stderr like the progress line; the
+    # stdout accounting stays one grep-stable line.
+    if result.failure_report is not None:
+        for line in result.failure_report.summary_lines():
+            print(line, file=sys.stderr)
     # The cell accounting lives on this one standardized line (shared
-    # with `run`'s backend summary and grepped by CI).
-    print(
+    # with `run`'s backend summary and grepped by CI).  ``failed`` is
+    # appended only when nonzero, so fault-free output is unchanged.
+    accounting = (
         f"computed={result.cache_misses} cached={result.cache_hits}"
     )
+    if result.failed:
+        accounting += f" failed={result.failed}"
+    print(accounting)
     if csv_dir:
         for path in report.save_csv(csv_dir):
             print(f"wrote {path}")
@@ -252,6 +270,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         migrate_json_to_sqlite,
         store_info,
         vacuum_store,
+        verify_store,
     )
 
     def show(facts: dict) -> None:
@@ -264,6 +283,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(report.summary_line())
         elif args.cache_command == "vacuum":
             show(vacuum_store(args.path))
+        elif args.cache_command == "verify":
+            verify = verify_store(args.path, repair=args.repair)
+            print(verify.summary_line())
+            # Exit 1 while unrepaired corruption remains, so CI can
+            # gate on a clean store (and on --repair having healed it).
+            return 0 if verify.ok else 1
         else:
             show(store_info(args.path))
     except (OSError, ValueError) as exc:
@@ -311,9 +336,49 @@ def _positive_int_argument(what: str) -> Callable[[str], int]:
     return parse
 
 
+def _nonnegative_int_argument(what: str) -> Callable[[str], int]:
+    """argparse type factory for integer options where 0 is valid."""
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid int value: {text!r}"
+            ) from None
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"must be a non-negative {what}, got {value}"
+            )
+        return value
+
+    return parse
+
+
+def _positive_float_argument(what: str) -> Callable[[str], float]:
+    """argparse type factory for positive float options (seconds)."""
+
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid float value: {text!r}"
+            ) from None
+        if value <= 0:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive {what}, got {value}"
+            )
+        return value
+
+    return parse
+
+
 _jobs_argument = _positive_int_argument("worker count")
 _chunk_lanes_argument = _positive_int_argument("lane count")
 _fuse_rounds_argument = _positive_int_argument("round count")
+_max_retries_argument = _nonnegative_int_argument("retry count")
+_chunk_timeout_argument = _positive_float_argument("second count")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -361,6 +426,20 @@ def main(argv: list[str] | None = None) -> int:
             help="record a telemetry manifest at PATH (inspect with "
             "'stats'); results are unaffected",
         )
+        exp_parser.add_argument(
+            "--max-retries", type=_max_retries_argument, default=None,
+            metavar="N",
+            help="redispatches a failing chunk earns before "
+            "bisection/quarantine (default: 2); a robustness knob — "
+            "results and cache identities are unaffected",
+        )
+        exp_parser.add_argument(
+            "--chunk-timeout", type=_chunk_timeout_argument, default=None,
+            metavar="SECONDS",
+            help="per-chunk deadline with jobs>1; a hung chunk counts "
+            "as a failed attempt and restarts the worker pool "
+            "(default: no deadline)",
+        )
     sweep_parser = sub.add_parser(
         "sweep", help="run a registered sweep scenario (cached, parallel)",
         description="Run a registered sweep scenario through the batched "
@@ -395,6 +474,20 @@ def main(argv: list[str] | None = None) -> int:
         help="rounds fused per kernel epoch (default: scenario hint, else "
         "each kernel's tuned default); a scheduling knob — results are "
         "bit-identical at every value",
+    )
+    sweep_parser.add_argument(
+        "--max-retries", type=_max_retries_argument, default=None,
+        metavar="N",
+        help="redispatches a failing chunk earns before "
+        "bisection/quarantine (default: 2); a robustness knob — "
+        "results and cache identities are unaffected",
+    )
+    sweep_parser.add_argument(
+        "--chunk-timeout", type=_chunk_timeout_argument, default=None,
+        metavar="SECONDS",
+        help="per-chunk deadline with --jobs>1; a hung chunk counts as "
+        "a failed attempt and restarts the worker pool (default: no "
+        "deadline)",
     )
     sweep_parser.add_argument(
         "--quick", action="store_true",
@@ -435,6 +528,20 @@ def main(argv: list[str] | None = None) -> int:
         help="compact SQLite shards / sweep stale JSON temp files",
     )
     cache_vacuum.add_argument("path", help="cache directory")
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="re-digest every row; report (or --repair) corrupt entries",
+        description="Full integrity scan of a result store, either "
+        "backend: every row's config text is re-digested against its "
+        "identity hash and checked for well-formed metrics.  Exits 1 "
+        "while unrepaired corruption remains; --repair quarantines "
+        "the bad rows so the next sweep recomputes them.",
+    )
+    cache_verify.add_argument("path", help="cache directory")
+    cache_verify.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt rows (the next sweep recomputes them)",
+    )
     stats_parser = sub.add_parser(
         "stats", help="inspect a telemetry manifest written by --trace",
         description="Render the per-phase, cache, kernel and worker "
@@ -500,6 +607,7 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(
                 args.name, args.jobs, cache_dir, args.quick, args.csv,
                 args.chunk_lanes, args.fuse_rounds,
+                args.max_retries, args.chunk_timeout,
             )
         return _cmd_all(
             args.csv,
@@ -509,8 +617,23 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir=cache_dir,
         )
 
+    def dispatch_with_policy() -> int:
+        if args.max_retries is None and args.chunk_timeout is None:
+            return dispatch()
+        # run/all reach run_cells through the experiment runners, whose
+        # signatures stay untouched: the retry/timeout knobs travel as
+        # an ambient execution policy instead.  (sweep also passes them
+        # explicitly above; explicit arguments win, so both agree.)
+        from repro.sweep.faults import ExecutionPolicy, execution_policy
+
+        with execution_policy(ExecutionPolicy(
+            max_retries=args.max_retries,
+            chunk_timeout=args.chunk_timeout,
+        )):
+            return dispatch()
+
     if not args.trace:
-        return dispatch()
+        return dispatch_with_policy()
     from repro.obs import trace_session
 
     meta = {"command": args.command}
@@ -519,7 +642,7 @@ def main(argv: list[str] | None = None) -> int:
     # The session wraps the whole command: the executor checkpoints at
     # every run_cells exit and the exit handler writes the final merge.
     with trace_session(args.trace, meta=meta) as session:
-        status = dispatch()
+        status = dispatch_with_policy()
     # Stdout stays bit-identical with and without --trace; the notice
     # goes to stderr like the progress line.
     print(f"wrote trace manifest {session.path}", file=sys.stderr)

@@ -2,9 +2,11 @@
 
 Renders the tables the CLI's ``stats`` subcommand prints: per-phase
 wall clock (chunk indices collapsed to ``chunk[*]`` so thousand-chunk
-runs stay readable), cache traffic, per-kernel counters with estimated
-throughput, per-worker busy time, and the raw counter list — all
-through :class:`repro.util.tables.Table`, the same renderer experiment
+runs stay readable), cache traffic, fault handling (retry/quarantine/
+pool-restart events of the supervising dispatcher, shown only when a
+run actually saw any), per-kernel counters with estimated throughput,
+per-worker busy time, and the raw counter list — all through
+:class:`repro.util.tables.Table`, the same renderer experiment
 reports use.
 """
 
@@ -144,6 +146,38 @@ def _kernel_table(manifest: dict) -> Table | None:
     return table if rows else None
 
 
+#: Robustness counters in display order: what the supervising
+#: dispatcher had to survive (emitted only when nonzero, so the table
+#: appears only for runs that actually saw failure handling).
+_ROBUSTNESS = (
+    ("executor.retries", "chunk redispatches after failed attempts"),
+    ("executor.timeouts", "chunk deadlines exceeded"),
+    ("executor.chunk_failures", "chunks bisected after retry exhaustion"),
+    ("executor.quarantined_cells", "cells abandoned with a failure record"),
+    ("executor.pool_restarts", "worker pools torn down and rebuilt"),
+    ("executor.serial_fallbacks", "degradations to in-process execution"),
+    ("cache.quarantined", "corrupt store rows evicted at probe time"),
+)
+
+
+def _robustness_table(counters: dict) -> Table | None:
+    present = [
+        (name, description)
+        for name, description in _ROBUSTNESS
+        if counters.get(name)
+    ]
+    if not present:
+        return None
+    table = Table(
+        columns=["event", "count", "meaning"],
+        caption="fault handling (supervisor + store self-healing)",
+        formats=[None, "d", None],
+    )
+    for name, description in present:
+        table.add_row(name, counters[name], description)
+    return table
+
+
 def _worker_table(manifest: dict) -> Table | None:
     if not manifest["workers"]:
         return None
@@ -194,6 +228,7 @@ def render_stats(manifest: dict, path: str = "") -> str:
     parts = [header, _phase_table(manifest).render()]
     for table in (
         _cache_table(manifest["counters"]),
+        _robustness_table(manifest["counters"]),
         _kernel_table(manifest),
         _worker_table(manifest),
         _counter_table(manifest["counters"]),

@@ -21,9 +21,14 @@ cached, parallel parameter sweeps:
   agents/pointers/seeds rather than named families) that give the
   paper-reproduction experiments the same cached, batched execution
   path via :mod:`repro.analysis.backend`;
-- :mod:`repro.sweep.executor` — multiprocessing execution with an
-  on-disk JSON result cache (``run_sweep`` for scenario grids,
-  ``run_cells`` for explicit cell lists);
+- :mod:`repro.sweep.executor` — supervised multiprocessing execution
+  with an on-disk result cache (``run_sweep`` for scenario grids,
+  ``run_cells`` for explicit cell lists): per-chunk deadlines, bounded
+  retry, poison-cell bisection/quarantine and serial degradation, all
+  summarized in a :class:`FailureReport`;
+- :mod:`repro.sweep.faults` — deterministic, seeded fault injection
+  (:class:`FaultPlan`) plus the ambient retry/timeout
+  :class:`ExecutionPolicy` the CLI installs;
 - :mod:`repro.sweep.aggregate` — joins rotor and walk cells of one
   sweep into speed-up tables ``S(k) = C(n,1)/C(n,k)`` and
   rotor-vs-walk ratio tables;
@@ -65,11 +70,18 @@ from repro.sweep.cells import (
 )
 from repro.sweep.executor import (
     ConfigResult,
+    FailureReport,
     ResultCache,
     SweepResult,
     run_cells,
     run_sweep,
 )
+from repro.sweep.faults import (
+    ExecutionPolicy,
+    FaultPlan,
+    execution_policy,
+)
+from repro.sweep.store import VerifyReport, verify_store
 from repro.sweep.registry import scenario, scenario_names
 from repro.sweep.spec import (
     GeneralScenarioSpec,
@@ -93,16 +105,22 @@ __all__ = [
     "lanes_from_configs",
     "walk_lanes_from_cells",
     "ConfigResult",
+    "ExecutionPolicy",
+    "FailureReport",
+    "FaultPlan",
     "GeneralRotorCell",
     "LabeledGeneralRotorCell",
     "ResultCache",
     "RotorCell",
     "SweepResult",
+    "VerifyReport",
     "WalkCoverCell",
     "WalkGapsCell",
     "cell_from_dict",
+    "execution_policy",
     "run_cells",
     "run_sweep",
+    "verify_store",
     "model_ratio_table",
     "speedup_curves",
     "speedup_table",

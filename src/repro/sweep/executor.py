@@ -19,9 +19,27 @@ results in three stages:
    invocation over a digest-keyed graph table (graphs serialize once
    per chunk, lanes of *different* graphs share rounds);
 3. **execution** — chunks run in-process (``jobs <= 1``) or across a
-   ``multiprocessing`` pool, with per-chunk progress reporting; each
+   ``multiprocessing`` pool under a supervising dispatcher
+   (:class:`_Supervisor`), with per-chunk progress reporting; each
    chunk's results are written back in one batched
    :meth:`~repro.sweep.store.CacheStore.put_many` call.
+
+The execution stage is **fault-tolerant**: chunks are tracked
+individually with per-chunk deadlines (``chunk_timeout``), failed
+attempts are retried with exponential backoff (``max_retries``), a
+chunk that keeps failing is bisected until the poison cell is
+isolated and quarantined, worker crashes and hung workers trigger a
+pool restart, and a pool that cannot be rebuilt degrades to
+in-process serial execution of the remaining chunks.  A plan always
+finishes: ``run_cells`` returns a structured :class:`FailureReport`
+(quarantined cell hashes plus exception summaries) instead of
+propagating the first worker exception.  Probe-time ``corrupt``
+statuses self-heal — the bad rows are quarantined through
+:meth:`~repro.sweep.store.CacheStore.quarantine_many` and recomputed.
+All of it is reproducible: :mod:`repro.sweep.faults` injects seeded,
+deterministic faults (worker crashes, poison cells, delays, store-row
+corruption) for tests, benchmarks and the CI chaos job, and none of
+the robustness knobs joins any cache identity.
 
 The store itself is pluggable (:mod:`repro.sweep.store`): a plain
 ``cache_dir`` path selects the portable one-JSON-file-per-cell tree,
@@ -35,10 +53,12 @@ name.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import sys
 import time
+from collections import deque
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence, TextIO
 
 import numpy as np
@@ -55,6 +75,12 @@ from repro.sweep.batch_ring import (
 )
 from repro.sweep import shm
 from repro.sweep.batch_walk import BatchRingWalks, walk_lanes_from_cells
+from repro.sweep.faults import (
+    FaultPlan,
+    active_policy,
+    apply_chunk_faults,
+    corrupt_rows_in_store,
+)
 from repro.sweep.cells import cell_from_dict
 from repro.sweep.spec import ScenarioSpec, SweepConfig
 from repro.sweep.store import CacheStore, JsonTreeStore, open_store
@@ -71,6 +97,13 @@ DEFAULT_CHUNK_LANES = 64
 #: additionally split once their total walker count crosses this
 #: (4096 walkers ≈ 32 MiB per 1024-round block buffer).
 DEFAULT_WALK_CHUNK_WALKERS = 4096
+
+#: Redispatches a failing chunk earns before bisection/quarantine.
+DEFAULT_MAX_RETRIES = 2
+
+#: Base of the exponential retry backoff, seconds: attempt ``a`` waits
+#: ``retry_backoff * 2**(a - 1)`` before redispatching.
+DEFAULT_RETRY_BACKOFF = 0.1
 
 def _prefer_serial_covers(n: int, configs: Sequence) -> bool:
     """Whether a cover-only rotor chunk should skip the batch kernel.
@@ -94,13 +127,79 @@ ProgressFn = Callable[[int, int], None]
 ResultCache = JsonTreeStore
 
 
+@dataclass
+class FailureReport:
+    """Structured failure outcome of one ``run_cells`` plan.
+
+    A fault-tolerant plan always runs to completion; this report says
+    what it took.  ``quarantined`` maps each abandoned cell's
+    ``config_hash`` to a one-line exception summary — those hashes are
+    the only ones missing from ``metrics_by_hash``.  The counters
+    mirror the ``executor.*`` telemetry: failure-driven redispatches
+    (``retries``), chunk deadlines exceeded (``timeouts``), chunks
+    that exhausted their retries and went to bisection
+    (``chunk_failures``), pool teardown/rebuilds after worker death or
+    a hung chunk (``pool_restarts``), and degradations to in-process
+    serial execution (``serial_fallbacks``).
+    """
+
+    quarantined: dict[str, str] = field(default_factory=dict)
+    retries: int = 0
+    timeouts: int = 0
+    chunk_failures: int = 0
+    pool_restarts: int = 0
+    serial_fallbacks: int = 0
+
+    @property
+    def failed(self) -> int:
+        """Number of quarantined cells (the ``failed=Z`` accounting)."""
+        return len(self.quarantined)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the plan ran without any failure handling at all."""
+        return not (
+            self.quarantined
+            or self.retries
+            or self.timeouts
+            or self.chunk_failures
+            or self.pool_restarts
+            or self.serial_fallbacks
+        )
+
+    def counters(self) -> dict[str, int]:
+        """The nonzero ``executor.*`` counter increments to emit."""
+        values = {
+            "executor.retries": self.retries,
+            "executor.timeouts": self.timeouts,
+            "executor.chunk_failures": self.chunk_failures,
+            "executor.quarantined_cells": self.failed,
+            "executor.pool_restarts": self.pool_restarts,
+            "executor.serial_fallbacks": self.serial_fallbacks,
+        }
+        return {name: value for name, value in values.items() if value}
+
+    def summary_lines(self) -> list[str]:
+        """One human-readable line per quarantined cell, hash-sorted."""
+        return [
+            f"quarantined {config_hash[:12]}: {summary}"
+            for config_hash, summary in sorted(self.quarantined.items())
+        ]
+
+
 @dataclass(frozen=True)
 class ConfigResult:
-    """Metrics of one sweep cell, with provenance."""
+    """Metrics of one sweep cell, with provenance.
+
+    A quarantined cell still yields a result row — ``failed=True``
+    with empty metrics — so sweep tables keep one row per requested
+    configuration no matter what the execution layer survived.
+    """
 
     config: SweepConfig
     metrics: dict
     cached: bool
+    failed: bool = False
 
 
 @dataclass
@@ -112,6 +211,8 @@ class SweepResult:
     elapsed: float
     cache_hits: int = 0
     cache_misses: int = 0
+    failed: int = 0
+    failure_report: FailureReport | None = None
 
     _METRIC_COLUMNS = (
         ("cover", ".1f"),
@@ -156,7 +257,8 @@ class SweepResult:
                 config.pointer,
                 config.seed,
                 *[result.metrics.get(name) for name, _ in present],
-                "yes" if result.cached else "no",
+                "failed" if result.failed else
+                ("yes" if result.cached else "no"),
             )
         return table
 
@@ -173,7 +275,15 @@ def compute_chunk(payload: dict) -> list[tuple[str, dict]]:
     :func:`run_cells` under an active :func:`repro.obs.trace_session`),
     the chunk runs under a fresh worker telemetry context whose spans
     and kernel counters land in this process's shard file.
+
+    A ``faults`` stanza (attached only when a
+    :class:`repro.sweep.faults.FaultPlan` is active) fires its injected
+    failures here, before any telemetry or simulation work — exactly
+    where a real crash/hang/poison cell would strike.
     """
+    stanza = payload.get("faults")
+    if stanza is not None:
+        apply_chunk_faults(stanza, payload.get("cell_hashes", ()))
     trace = payload.get("trace")
     if trace is not None:
         return obs.traced_chunk(trace, _dispatch_chunk, payload)
@@ -505,6 +615,10 @@ def _plan_chunks(
                 "compact_ratio": compact_ratio,
                 "fuse_rounds": fuse_rounds,
                 "configs": [config.to_dict() for config in chunk],
+                # Chunk-ordered hashes ride along so the supervisor can
+                # quarantine (and fault plans can target) cells without
+                # rebuilding them from their dict forms.
+                "cell_hashes": [config.config_hash for config in chunk],
             }
             if model == "rotor-general":
                 payload["max_rounds"] = max(
@@ -626,6 +740,326 @@ def _pack_shm_payloads(payloads: list[dict]) -> "shm.SlabArena | None":
     return arena
 
 
+def _create_pool(jobs: int):
+    """Worker-pool factory, a seam so tests can break pool creation."""
+    return multiprocessing.Pool(processes=jobs)
+
+
+class _ChunkTask:
+    """One chunk payload's lifecycle under the supervisor."""
+
+    __slots__ = ("payload", "tries_left", "attempt", "deadline",
+                 "handle", "retry_at")
+
+    def __init__(self, payload: dict, tries_left: int) -> None:
+        self.payload = payload
+        #: Failure-driven redispatches still available.
+        self.tries_left = tries_left
+        #: Total redispatch count (failures *and* pool restarts): keys
+        #: the backoff exponent and the fault stanza's attempt field.
+        self.attempt = 0
+        #: Monotonic deadline while in flight (None = no timeout).
+        self.deadline: float | None = None
+        #: The pool ``AsyncResult`` while in flight.
+        self.handle = None
+        #: Monotonic earliest redispatch time (retry backoff).
+        self.retry_at = 0.0
+
+
+class _Supervisor:
+    """Supervising dispatcher: every chunk completes or quarantines.
+
+    Replaces the historical bare ``Pool.imap_unordered`` loop.  Chunks
+    are tracked individually via ``apply_async`` handles so the
+    supervisor can enforce per-chunk deadlines, notice worker death
+    (the pool's worker pid set changing, or a worker no longer alive),
+    and keep scheduling around failures:
+
+    - a failed attempt (worker exception or deadline) is redispatched
+      up to ``max_retries`` times with exponential backoff;
+    - a chunk that exhausts its retries is **bisected** — both halves
+      re-enter the queue with zero retries — until the failure is
+      isolated to a single cell, which is quarantined with its
+      exception summary instead of failing the sweep;
+    - a timeout or dead worker tears the pool down and rebuilds it
+      (reclaiming the hung/lost worker slots), re-queueing whatever
+      was in flight; after ``MAX_POOL_RESTARTS`` rebuilds — or when
+      the pool cannot be (re)built or dispatched to at all — the
+      remaining chunks degrade to in-process serial execution;
+    - with ``jobs <= 1`` chunks simply run in-process under the same
+      retry/bisect/quarantine logic (no deadlines: there is no worker
+      to preempt, and ``KeyboardInterrupt`` must keep propagating for
+      interrupt safety).
+
+    The supervisor owns scheduling only; committing results stays with
+    the caller through the ``commit``/``quarantine`` callbacks, so
+    cache writes and progress accounting are unchanged from the
+    historical loop.
+    """
+
+    #: Idle sleep between polls of in-flight handles, seconds.
+    POLL_INTERVAL = 0.02
+    #: Pool rebuilds allowed before degrading to serial execution.
+    MAX_POOL_RESTARTS = 5
+
+    def __init__(
+        self,
+        jobs: int,
+        commit: Callable[[list[tuple[str, dict]]], None],
+        quarantine: Callable[[str, str], None],
+        report: FailureReport,
+        max_retries: int,
+        chunk_timeout: float | None,
+        retry_backoff: float,
+        session=None,
+    ) -> None:
+        self.jobs = jobs
+        self.commit = commit
+        self.quarantine = quarantine
+        self.report = report
+        self.max_retries = max_retries
+        self.chunk_timeout = chunk_timeout
+        self.retry_backoff = retry_backoff
+        self.session = session
+        self.queue: deque[_ChunkTask] = deque()
+        self.in_flight: list[_ChunkTask] = []
+        self.pool = None
+        self._pids: tuple[int, ...] | None = None
+
+    # -- public ---------------------------------------------------------
+    def run(self, payloads: list[dict]) -> None:
+        for payload in payloads:
+            self.queue.append(_ChunkTask(payload, self.max_retries))
+        if self.jobs > 1:
+            self._run_pool()
+        else:
+            self._run_serial()
+
+    # -- serial path ----------------------------------------------------
+    def _run_serial(self) -> None:
+        while self.queue:
+            task = self.queue.popleft()
+            delay = task.retry_at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                pairs = compute_chunk(task.payload)
+            except Exception as exc:  # KeyboardInterrupt propagates
+                self._on_failure(task, exc)
+                continue
+            self.commit(pairs)
+
+    # -- pool path ------------------------------------------------------
+    def _run_pool(self) -> None:
+        self.pool = self._spawn_pool()
+        try:
+            while self.queue or self.in_flight:
+                if self.pool is None:
+                    self._degrade_to_serial()
+                    return
+                self._dispatch_ready()
+                progressed, timed_out = self._poll_in_flight()
+                if self.pool is not None and self._workers_changed():
+                    self._restart_pool()
+                elif timed_out:
+                    # The hung worker still occupies its slot; only a
+                    # pool rebuild reclaims it.
+                    self._restart_pool()
+                elif not progressed and (self.queue or self.in_flight):
+                    time.sleep(self.POLL_INTERVAL)
+        finally:
+            pool, self.pool = self.pool, None
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+    def _spawn_pool(self):
+        try:
+            pool = _create_pool(self.jobs)
+        except Exception:
+            return None
+        self._pids = self._observed_pids(pool)
+        return pool
+
+    def _observed_pids(self, pool) -> tuple[int, ...] | None:
+        """The live worker pid set, or None when unobservable.
+
+        ``Pool._pool`` is private API, so every access is defensive:
+        an unobservable pool simply loses crash detection (timeouts
+        still fire), it never breaks dispatch.
+        """
+        procs = getattr(pool, "_pool", None)
+        if procs is None:
+            return None
+        try:
+            return tuple(sorted(
+                proc.pid for proc in list(procs) if proc.is_alive()
+            ))
+        except Exception:
+            return None
+
+    def _workers_changed(self) -> bool:
+        if self._pids is None:
+            return False
+        observed = self._observed_pids(self.pool)
+        return observed is not None and observed != self._pids
+
+    def _dispatch_ready(self) -> None:
+        now = time.monotonic()
+        for _ in range(len(self.queue)):
+            task = self.queue.popleft()
+            if task.retry_at > now:
+                self.queue.append(task)  # rotate; redispatch later
+                continue
+            try:
+                task.handle = self.pool.apply_async(
+                    compute_chunk, (task.payload,)
+                )
+            except Exception:
+                # The pool is broken beyond dispatching: drop it and
+                # let the main loop degrade to serial.
+                self.queue.appendleft(task)
+                self._teardown_pool()
+                return
+            if self.chunk_timeout is not None:
+                task.deadline = time.monotonic() + self.chunk_timeout
+            self.in_flight.append(task)
+
+    def _poll_in_flight(self) -> tuple[bool, bool]:
+        progressed = False
+        timed_out = False
+        still: list[_ChunkTask] = []
+        for task in self.in_flight:
+            ready = False
+            try:
+                ready = task.handle.ready()
+            except Exception:
+                ready = False
+            if ready:
+                progressed = True
+                try:
+                    pairs = task.handle.get()
+                except Exception as exc:
+                    self._on_failure(task, exc)
+                else:
+                    task.handle = None
+                    self.commit(pairs)
+                continue
+            if task.deadline is not None and time.monotonic() > task.deadline:
+                timed_out = True
+                self.report.timeouts += 1
+                self._on_failure(task, TimeoutError(
+                    f"chunk exceeded its {self.chunk_timeout:g}s deadline"
+                ))
+                continue
+            still.append(task)
+        self.in_flight = still
+        return progressed, timed_out
+
+    def _restart_pool(self) -> None:
+        """Tear the pool down, re-queue in-flight work, rebuild.
+
+        Restart re-queues are not retries: a chunk that merely shared
+        the pool with a crashed/hung neighbour keeps its budget, and
+        its attempt counter still advances so first-attempt-only
+        injected faults cannot refire forever.
+        """
+        self.report.pool_restarts += 1
+        self._teardown_pool()
+        while self.in_flight:
+            task = self.in_flight.pop()
+            task.handle = None
+            task.deadline = None
+            task.attempt += 1
+            self._sync_attempt(task)
+            task.retry_at = 0.0
+            self.queue.appendleft(task)
+        if self.report.pool_restarts <= self.MAX_POOL_RESTARTS:
+            self.pool = self._spawn_pool()
+
+    def _teardown_pool(self) -> None:
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass
+
+    def _degrade_to_serial(self) -> None:
+        self.report.serial_fallbacks += 1
+        while self.in_flight:
+            task = self.in_flight.pop()
+            task.handle = None
+            task.deadline = None
+            self.queue.appendleft(task)
+        self._run_serial()
+
+    # -- failure handling (both paths) ----------------------------------
+    def _sync_attempt(self, task: _ChunkTask) -> None:
+        stanza = task.payload.get("faults")
+        if stanza is not None:
+            stanza["attempt"] = task.attempt
+
+    def _on_failure(self, task: _ChunkTask, exc: BaseException) -> None:
+        task.handle = None
+        task.deadline = None
+        if task.tries_left > 0:
+            task.tries_left -= 1
+            task.attempt += 1
+            self._sync_attempt(task)
+            self.report.retries += 1
+            backoff = self.retry_backoff * (2 ** (task.attempt - 1))
+            task.retry_at = time.monotonic() + backoff
+            self.queue.append(task)
+            return
+        self._bisect_or_quarantine(task, exc)
+
+    def _bisect_or_quarantine(self, task: _ChunkTask, exc: BaseException):
+        summary = f"{type(exc).__name__}: {exc}"
+        configs = task.payload["configs"]
+        if len(configs) <= 1:
+            self.quarantine(task.payload["cell_hashes"][0], summary)
+            return
+        self.report.chunk_failures += 1
+        mid = len(configs) // 2
+        # Halves go to the queue front so isolation finishes promptly;
+        # appendleft order puts the low half first.
+        for lo, hi in ((mid, len(configs)), (0, mid)):
+            sub = self._subset_payload(task.payload, lo, hi)
+            self.queue.appendleft(_ChunkTask(sub, tries_left=0))
+
+    def _subset_payload(self, payload: dict, lo: int, hi: int) -> dict:
+        """A payload computing ``configs[lo:hi]`` of ``payload``.
+
+        Prebuilt shared-memory lane slabs are dropped (the worker
+        rebuilds small slices from the configs), the general-graph
+        table shrinks to the slice's digests, and the fault stanza —
+        if any — is re-keyed to ``chunk=None``: chunk-indexed faults
+        never target bisection sub-chunks, so isolating a poison cell
+        always converges.
+        """
+        sub = dict(payload)
+        sub.pop("lanes", None)
+        sub["configs"] = payload["configs"][lo:hi]
+        sub["cell_hashes"] = payload["cell_hashes"][lo:hi]
+        if "graphs" in payload:
+            digests = {data.get("graph") for data in sub["configs"]}
+            sub["graphs"] = {
+                digest: graph
+                for digest, graph in payload["graphs"].items()
+                if digest in digests
+            }
+        stanza = payload.get("faults")
+        if stanza is not None:
+            sub["faults"] = dict(stanza, chunk=None, attempt=0)
+        if self.session is not None:
+            sub["trace"] = self.session.next_chunk_trace()
+        else:
+            sub.pop("trace", None)
+        return sub
+
+
 class StderrProgress:
     """Progress reporter with elapsed time, rate and ETA.
 
@@ -737,7 +1171,11 @@ def run_cells(
     walk_chunk_walkers: int = DEFAULT_WALK_CHUNK_WALKERS,
     compact_ratio: float = DEFAULT_COMPACT_RATIO,
     fuse_rounds: int | None = None,
-) -> tuple[dict[str, dict], set[str]]:
+    faults: FaultPlan | None = None,
+    max_retries: int | None = None,
+    chunk_timeout: float | None = None,
+    retry_backoff: float | None = None,
+) -> tuple[dict[str, dict], set[str], FailureReport]:
     """Execute a flat cell list: cache probe, then batched chunks.
 
     The workhorse under both :func:`run_sweep` (scenario grids) and the
@@ -747,14 +1185,25 @@ def run_cells(
     ``metrics``/``k``/``repetitions``/``config_hash``/``to_dict``)
     schedules; duplicate hashes are computed once.
 
-    Returns ``(metrics_by_hash, cached_hashes)``: every requested
-    hash's metrics, plus the subset served from the cache.
+    Returns ``(metrics_by_hash, cached_hashes, failure_report)``:
+    every requested hash's metrics, the subset served from the cache,
+    and the :class:`FailureReport` of whatever the supervisor had to
+    survive — quarantined hashes are absent from ``metrics_by_hash``
+    and callers decide whether that is fatal.
 
     ``cache_dir`` is a store spec: a plain directory path opens the
     JSON tree backend, a ``sqlite://<dir>`` (or ``json://<dir>``)
     prefix selects a backend explicitly (see
     :mod:`repro.sweep.store`).  Results are bit-identical across
     backends; only probe/commit latency differs.
+
+    The robustness knobs resolve explicit argument > ambient
+    :func:`repro.sweep.faults.execution_policy` > module default
+    (``max_retries=2``, no ``chunk_timeout``, ``retry_backoff=0.1``).
+    ``faults`` defaults to the :data:`repro.sweep.faults.FAULTS_ENV`
+    hook, so chaos jobs can reach an unmodified CLI.  None of these —
+    nor any injected fault — affects a computed result or any cache
+    identity.
     """
     if jobs < 0:
         raise ValueError(f"jobs must be non-negative, got {jobs}")
@@ -769,11 +1218,41 @@ def run_cells(
             f"fuse_rounds must be at least 1, got {fuse_rounds}"
         )
     _check_compact_ratio(compact_ratio)
+    policy = active_policy()
+    if max_retries is None:
+        max_retries = (
+            policy.max_retries
+            if policy is not None and policy.max_retries is not None
+            else DEFAULT_MAX_RETRIES
+        )
+    if chunk_timeout is None and policy is not None:
+        chunk_timeout = policy.chunk_timeout
+    if retry_backoff is None:
+        retry_backoff = (
+            policy.retry_backoff
+            if policy is not None and policy.retry_backoff is not None
+            else DEFAULT_RETRY_BACKOFF
+        )
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+    if chunk_timeout is not None and chunk_timeout <= 0:
+        raise ValueError(
+            f"chunk_timeout must be positive, got {chunk_timeout}"
+        )
+    if retry_backoff < 0:
+        raise ValueError(
+            f"retry_backoff must be non-negative, got {retry_backoff}"
+        )
+    if faults is None:
+        faults = FaultPlan.from_env()
+    if faults is not None and not faults.enabled:
+        faults = None
     cache: CacheStore | None = open_store(cache_dir) if cache_dir else None
     try:
         return _run_cells_with_store(
             cells, cache, jobs, progress, chunk_lanes, walk_chunk_walkers,
-            compact_ratio, fuse_rounds,
+            compact_ratio, fuse_rounds, faults, max_retries, chunk_timeout,
+            retry_backoff,
         )
     finally:
         if cache is not None:
@@ -789,9 +1268,14 @@ def _run_cells_with_store(
     walk_chunk_walkers: int,
     compact_ratio: float,
     fuse_rounds: int | None,
-) -> tuple[dict[str, dict], set[str]]:
+    faults: FaultPlan | None,
+    max_retries: int,
+    chunk_timeout: float | None,
+    retry_backoff: float,
+) -> tuple[dict[str, dict], set[str], FailureReport]:
     """The body of :func:`run_cells`, over an already opened store."""
     session = obs.current_session()
+    report = FailureReport()
 
     unique: list = []
     seen: set[str] = set()
@@ -831,6 +1315,15 @@ def _run_cells_with_store(
             f"cache.{cache.backend}.misses": probe_misses,
             f"cache.{cache.backend}.corrupt": corrupt,
         })
+        if corrupt:
+            # Self-healing: evict the corrupt rows now, so even a run
+            # interrupted before recompute leaves no poison behind.
+            quarantined_rows = cache.quarantine_many(sorted(
+                config_hash
+                for config_hash, status in statuses.items()
+                if status == "corrupt"
+            ))
+            obs.count("cache.quarantined", quarantined_rows)
     done = total - len(misses)
     if progress:
         progress(done, total)
@@ -844,133 +1337,20 @@ def _run_cells_with_store(
     if session is not None:
         for payload in payloads:
             payload["trace"] = session.next_chunk_trace()
+    if faults is not None:
+        for index, payload in enumerate(payloads):
+            payload["faults"] = faults.stanza(
+                chunk=index, parent_pid=os.getpid()
+            )
     obs.count_many({
         "executor.chunks": len(payloads),
         "executor.cells": total,
         "executor.cells_computed": len(misses),
         "executor.cells_cached": len(cached_hashes),
     })
-    if payloads:
-        with obs.span("aggregate", chunks=len(payloads)):
-            if jobs > 1:
-                # Large chunk arrays ship through one shared-memory
-                # segment owned by this call; workers map it read-only
-                # and payload pickles stay descriptor-sized.  The
-                # finally unlinks even if a worker (or the pool) dies:
-                # live worker mappings survive the unlink, nothing
-                # leaks past this call.
-                arena = _pack_shm_payloads(payloads)
-                if arena is not None:
-                    obs.count_many({
-                        "executor.shm_segments": 1,
-                        "executor.shm_bytes": arena.nbytes,
-                    })
-                try:
-                    with multiprocessing.Pool(processes=jobs) as pool:
-                        chunk_results = pool.imap_unordered(
-                            compute_chunk, payloads
-                        )
-                        _collect(
-                            chunk_results, metrics_by_hash, by_hash, cache,
-                            done, total, progress,
-                        )
-                finally:
-                    if arena is not None:
-                        arena.close()
-            else:
-                _collect(
-                    map(compute_chunk, payloads), metrics_by_hash, by_hash,
-                    cache, done, total, progress,
-                )
-    if session is not None:
-        # Crash-safe: every run_cells exit folds all shards written so
-        # far into the manifest, so multi-experiment runs keep their
-        # trace even if a later experiment dies.
-        session.checkpoint()
-    return metrics_by_hash, cached_hashes
 
-
-def run_sweep(
-    spec: ScenarioSpec,
-    jobs: int = 1,
-    cache_dir: str | None = None,
-    progress: ProgressFn | None = None,
-    chunk_lanes: int | None = None,
-    walk_chunk_walkers: int | None = None,
-    compact_ratio: float | None = None,
-    fuse_rounds: int | None = None,
-) -> SweepResult:
-    """Execute a sweep: cache probe, then parallel batched simulation.
-
-    ``jobs <= 1`` runs chunks in-process; otherwise a multiprocessing
-    pool of ``jobs`` workers consumes them.  ``progress`` (if given) is
-    called with ``(done, total)`` configuration counts as results
-    arrive, cache hits included.
-
-    The scheduling knobs — ``chunk_lanes`` (lanes per kernel chunk),
-    ``walk_chunk_walkers`` (walker cap per walk chunk),
-    ``compact_ratio`` (the limit-cycle pipeline's lane-compaction
-    threshold) and ``fuse_rounds`` (the kernels' round-fusion factor;
-    ``None`` keeps each kernel's tuned default) — resolve explicit
-    argument > scenario hint > module default, so benchmarks and the
-    CLI can sweep them without editing scenarios.  None of them
-    affects any result or cache identity, only how the work is
-    batched.
-    """
-    if chunk_lanes is None:
-        chunk_lanes = spec.chunk_lanes or DEFAULT_CHUNK_LANES
-    if walk_chunk_walkers is None:
-        walk_chunk_walkers = (
-            spec.walk_chunk_walkers or DEFAULT_WALK_CHUNK_WALKERS
-        )
-    if compact_ratio is None:
-        compact_ratio = (
-            spec.compact_ratio
-            if spec.compact_ratio is not None
-            else DEFAULT_COMPACT_RATIO
-        )
-    if fuse_rounds is None:
-        fuse_rounds = spec.fuse_rounds
-    started = time.perf_counter()
-    configs = spec.configs()  # spec expansion guarantees unique cells
-    metrics_by_hash, cached_hashes = run_cells(
-        configs,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        progress=progress,
-        chunk_lanes=chunk_lanes,
-        walk_chunk_walkers=walk_chunk_walkers,
-        compact_ratio=compact_ratio,
-        fuse_rounds=fuse_rounds,
-    )
-    results = [
-        ConfigResult(
-            config=config,
-            metrics=metrics_by_hash[config.config_hash],
-            cached=config.config_hash in cached_hashes,
-        )
-        for config in configs
-    ]
-    hits = sum(result.cached for result in results)
-    return SweepResult(
-        spec=spec,
-        results=results,
-        elapsed=time.perf_counter() - started,
-        cache_hits=hits,
-        cache_misses=len(results) - hits,
-    )
-
-
-def _collect(
-    chunk_results,
-    metrics_by_hash: dict[str, dict],
-    by_hash: dict[str, SweepConfig],
-    cache: CacheStore | None,
-    done: int,
-    total: int,
-    progress: ProgressFn | None,
-) -> int:
-    for pairs in chunk_results:
+    def commit(pairs: list[tuple[str, dict]]) -> None:
+        nonlocal done
         put_span = (
             obs.span("cache.put", cells=len(pairs))
             if cache is not None
@@ -988,7 +1368,157 @@ def _collect(
                     "cache.puts": len(pairs),
                     "cache.batch_puts": 1,
                 })
+                if faults is not None:
+                    victims = faults.corrupt_matches(
+                        [config_hash for config_hash, _ in pairs]
+                    )
+                    if victims:
+                        corrupt_rows_in_store(cache, victims)
             done += len(pairs)
         if progress:
             progress(done, total)
-    return done
+
+    def quarantine(config_hash: str, summary: str) -> None:
+        nonlocal done
+        report.quarantined[config_hash] = summary
+        done += 1  # abandoned, but accounted: progress reaches total
+        if progress:
+            progress(done, total)
+
+    if payloads:
+        with obs.span("aggregate", chunks=len(payloads)):
+            supervisor = _Supervisor(
+                jobs=jobs,
+                commit=commit,
+                quarantine=quarantine,
+                report=report,
+                max_retries=max_retries,
+                chunk_timeout=chunk_timeout,
+                retry_backoff=retry_backoff,
+                session=session,
+            )
+            if jobs > 1:
+                # Large chunk arrays ship through one shared-memory
+                # segment owned by this call; workers map it read-only
+                # and payload pickles stay descriptor-sized.  The
+                # finally unlinks even if a worker (or the pool) dies:
+                # live worker mappings survive the unlink, nothing
+                # leaks past this call.
+                arena = _pack_shm_payloads(payloads)
+                if arena is not None:
+                    obs.count_many({
+                        "executor.shm_segments": 1,
+                        "executor.shm_bytes": arena.nbytes,
+                    })
+                try:
+                    supervisor.run(payloads)
+                finally:
+                    if arena is not None:
+                        arena.close()
+            else:
+                supervisor.run(payloads)
+    fault_counters = report.counters()
+    if fault_counters:
+        obs.count_many(fault_counters)
+    if session is not None:
+        # Crash-safe: every run_cells exit folds all shards written so
+        # far into the manifest, so multi-experiment runs keep their
+        # trace even if a later experiment dies.
+        session.checkpoint()
+    return metrics_by_hash, cached_hashes, report
+
+
+def run_sweep(
+    spec: ScenarioSpec,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    progress: ProgressFn | None = None,
+    chunk_lanes: int | None = None,
+    walk_chunk_walkers: int | None = None,
+    compact_ratio: float | None = None,
+    fuse_rounds: int | None = None,
+    faults: FaultPlan | None = None,
+    max_retries: int | None = None,
+    chunk_timeout: float | None = None,
+    retry_backoff: float | None = None,
+) -> SweepResult:
+    """Execute a sweep: cache probe, then parallel batched simulation.
+
+    ``jobs <= 1`` runs chunks in-process; otherwise a multiprocessing
+    pool of ``jobs`` workers consumes them.  ``progress`` (if given) is
+    called with ``(done, total)`` configuration counts as results
+    arrive, cache hits included.
+
+    The scheduling knobs — ``chunk_lanes`` (lanes per kernel chunk),
+    ``walk_chunk_walkers`` (walker cap per walk chunk),
+    ``compact_ratio`` (the limit-cycle pipeline's lane-compaction
+    threshold) and ``fuse_rounds`` (the kernels' round-fusion factor;
+    ``None`` keeps each kernel's tuned default) — resolve explicit
+    argument > scenario hint > module default, so benchmarks and the
+    CLI can sweep them without editing scenarios.  None of them
+    affects any result or cache identity, only how the work is
+    batched.
+
+    The robustness knobs (``faults``/``max_retries``/
+    ``chunk_timeout``/``retry_backoff``) pass straight through to
+    :func:`run_cells`.  A quarantined cell becomes a
+    ``failed=True`` :class:`ConfigResult` with empty metrics; the
+    sweep itself still succeeds, with the details in
+    ``SweepResult.failure_report``.
+    """
+    if chunk_lanes is None:
+        chunk_lanes = spec.chunk_lanes or DEFAULT_CHUNK_LANES
+    if walk_chunk_walkers is None:
+        walk_chunk_walkers = (
+            spec.walk_chunk_walkers or DEFAULT_WALK_CHUNK_WALKERS
+        )
+    if compact_ratio is None:
+        compact_ratio = (
+            spec.compact_ratio
+            if spec.compact_ratio is not None
+            else DEFAULT_COMPACT_RATIO
+        )
+    if fuse_rounds is None:
+        fuse_rounds = spec.fuse_rounds
+    started = time.perf_counter()
+    configs = spec.configs()  # spec expansion guarantees unique cells
+    metrics_by_hash, cached_hashes, failure_report = run_cells(
+        configs,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        progress=progress,
+        chunk_lanes=chunk_lanes,
+        walk_chunk_walkers=walk_chunk_walkers,
+        compact_ratio=compact_ratio,
+        fuse_rounds=fuse_rounds,
+        faults=faults,
+        max_retries=max_retries,
+        chunk_timeout=chunk_timeout,
+        retry_backoff=retry_backoff,
+    )
+    results = []
+    for config in configs:
+        metrics = metrics_by_hash.get(config.config_hash)
+        if metrics is None:
+            results.append(ConfigResult(
+                config=config, metrics={}, cached=False, failed=True,
+            ))
+        else:
+            results.append(ConfigResult(
+                config=config,
+                metrics=metrics,
+                cached=config.config_hash in cached_hashes,
+            ))
+    hits = sum(result.cached for result in results)
+    failed = sum(result.failed for result in results)
+    return SweepResult(
+        spec=spec,
+        results=results,
+        elapsed=time.perf_counter() - started,
+        cache_hits=hits,
+        cache_misses=len(results) - hits - failed,
+        failed=failed,
+        failure_report=failure_report,
+    )
+
+

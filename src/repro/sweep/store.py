@@ -40,8 +40,13 @@ stored metrics parse.  Reports are therefore bit-identical whichever
 backend served them, which the backend-equivalence suite pins.
 
 ``migrate_json_to_sqlite`` streams a JSON tree into a SQLite store,
-re-verifying each entry's identity hash as it goes; ``store_info`` and
-``vacuum_store`` back the ``python -m repro cache`` subcommand.
+re-verifying each entry's identity hash as it goes; ``store_info``,
+``vacuum_store`` and ``verify_store`` back the ``python -m repro
+cache`` subcommand.  Corruption self-heals: a probe that reports a
+``corrupt`` status leads the executor to ``quarantine_many`` the bad
+entries (JSON: file set aside as ``.json.corrupt``; SQLite: row
+deleted) before recomputing and overwriting them, and ``repro cache
+verify [--repair]`` runs the same check eagerly over every stored row.
 
 The store choice travels inside the cache *spec* string — a plain
 directory path selects the JSON tree, a ``sqlite://<dir>`` (or
@@ -136,6 +141,20 @@ class CacheStore(Protocol):
 
     def put_many(self, items: Sequence[tuple[object, dict]]) -> None:
         """Batched write of ``(cell, metrics)`` pairs."""
+        ...
+
+    def quarantine_many(self, hashes: Sequence[str]) -> int:
+        """Evict known-bad rows so corruption never lingers.
+
+        The executor calls this with every hash ``lookup_many``
+        reported ``corrupt`` before recomputing them: the JSON tree
+        renames the bad entry file aside (``<hash>.json.corrupt``,
+        preserved for forensics, invisible to probes), the SQLite
+        store deletes the row.  The recompute's ``put_many`` then
+        writes a fresh entry — quarantine-and-overwrite, so a store
+        self-heals instead of re-flagging the same rot every run.
+        Returns the number of entries actually quarantined.
+        """
         ...
 
     def count(self) -> int:
@@ -321,6 +340,24 @@ class JsonTreeStore:
     def put_many(self, items: Sequence[tuple[object, dict]]) -> None:
         for config, metrics in items:
             self.put(config, metrics)
+
+    def quarantine_many(self, hashes: Sequence[str]) -> int:
+        """Move bad entry files aside (``<hash>.json.corrupt``).
+
+        The quarantined copy keeps the evidence inspectable but is
+        invisible to every probe and count (only ``*.json`` files are
+        entries); a recompute's ``put`` writes a clean file under the
+        original name.  Racing quarantiners agree (atomic rename).
+        """
+        quarantined = 0
+        for config_hash in hashes:
+            path = self.path(config_hash)
+            try:
+                os.replace(path, f"{path}.corrupt")
+            except OSError:
+                continue  # already quarantined or never written
+            quarantined += 1
+        return quarantined
 
     def count(self) -> int:
         """Stored entries, via a sorted (D002-clean) tree walk."""
@@ -631,6 +668,39 @@ class SqliteStore:
     def put(self, config, metrics: dict) -> None:
         self.put_many([(config, metrics)])
 
+    def quarantine_many(self, hashes: Sequence[str]) -> int:
+        """Delete bad rows so the next probe is a clean miss.
+
+        WAL journaling already rules out torn rows, so a corrupt row
+        means external tampering; unlike the JSON tree there is no
+        per-entry file to set aside, and the deleted row's replacement
+        arrives with the recompute's ``put_many``.
+        """
+        by_shard: dict[str, list[str]] = {}
+        for config_hash in hashes:
+            by_shard.setdefault(self.shard_of(config_hash), []).append(
+                config_hash
+            )
+        quarantined = 0
+        for shard in sorted(by_shard):
+            if not os.path.exists(self.shard_path(shard)):
+                continue
+            conn = self._conn(shard)
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                for start in range(0, len(by_shard[shard]), _SELECT_CHUNK):
+                    chunk = by_shard[shard][start:start + _SELECT_CHUNK]
+                    marks = ",".join("?" * len(chunk))
+                    cursor = conn.execute(
+                        f"DELETE FROM cells WHERE hash IN ({marks})", chunk
+                    )
+                    quarantined += cursor.rowcount
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+        return quarantined
+
     def count(self) -> int:
         """Stored rows across shards — one indexed aggregate each."""
         total = 0
@@ -737,6 +807,104 @@ def migrate_json_to_sqlite(
     finally:
         dest.close()
     return MigrationReport(migrated=migrated, corrupt=corrupt)
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of one full-store integrity scan."""
+
+    backend: str
+    checked: int
+    corrupt: int
+    repaired: int
+
+    @property
+    def ok(self) -> bool:
+        """Whether the store ended the scan free of bad entries."""
+        return self.corrupt == self.repaired
+
+    def summary_line(self) -> str:
+        return (
+            f"backend={self.backend} checked={self.checked} "
+            f"corrupt={self.corrupt} repaired={self.repaired}"
+        )
+
+
+def _entry_is_sound(config_hash: str, config, metrics) -> bool:
+    """Whether a stored entry's identity re-digests to its key."""
+    import hashlib
+
+    if not isinstance(config, dict) or not isinstance(metrics, dict):
+        return False
+    digest = hashlib.sha256(
+        _canonical(config).encode("utf-8")
+    ).hexdigest()
+    return digest == config_hash
+
+
+def verify_store(directory: str, repair: bool = False) -> VerifyReport:
+    """Re-digest every stored row; optionally evict the bad ones.
+
+    The deep counterpart of the probe-time corruption checks: every
+    entry of either backend is re-verified end to end — the canonical
+    dump of its stored ``config`` must digest back to the hash it is
+    keyed under, and its ``metrics`` must parse to a dict — exactly
+    the invariant ``put_many``/migration enforce at write time, so a
+    clean scan certifies the store serves only rows it would itself
+    have written.  ``repair=True`` quarantines each bad entry through
+    the backend's own semantics (JSON: file set aside as
+    ``.json.corrupt``; SQLite: row deleted) so the next sweep
+    recomputes and overwrites it.  Backs ``repro cache verify``.
+    """
+    backend = detect_backend(directory)
+    checked = corrupt = repaired = 0
+    if backend == "json":
+        store = JsonTreeStore(directory)
+        for config_hash, path in _iter_json_entries(store.directory):
+            checked += 1
+            sound = False
+            try:
+                with open(path) as handle:
+                    entry = json.load(handle)
+            except (OSError, ValueError):
+                entry = None
+            if isinstance(entry, dict):
+                sound = _entry_is_sound(
+                    config_hash, entry.get("config"), entry.get("metrics")
+                )
+            if sound:
+                continue
+            corrupt += 1
+            if repair:
+                repaired += store.quarantine_many([config_hash])
+        return VerifyReport(
+            backend=backend, checked=checked, corrupt=corrupt,
+            repaired=repaired,
+        )
+    store = SqliteStore(directory)
+    try:
+        bad: list[str] = []
+        for shard in store.shards_on_disk():
+            conn = store._conn(shard)
+            for row_hash, config_text, metrics_text in conn.execute(
+                "SELECT hash, config, metrics FROM cells ORDER BY hash"
+            ):
+                checked += 1
+                try:
+                    config = json.loads(config_text)
+                    metrics = json.loads(metrics_text)
+                except ValueError:
+                    config = metrics = None
+                if not _entry_is_sound(row_hash, config, metrics):
+                    bad.append(row_hash)
+        corrupt = len(bad)
+        if repair and bad:
+            repaired = store.quarantine_many(bad)
+    finally:
+        store.close()
+    return VerifyReport(
+        backend=backend, checked=checked, corrupt=corrupt, repaired=repaired
+    )
 
 
 def store_info(directory: str) -> dict:
